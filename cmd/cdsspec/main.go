@@ -1,0 +1,147 @@
+// Command cdsspec reproduces the paper's evaluation from the command
+// line:
+//
+//	cdsspec fig7                 regenerate Figure 7 (benchmark results)
+//	cdsspec fig8                 regenerate Figure 8 (bug-injection detection)
+//	cdsspec knownbugs            reproduce the §6.4.1 known bugs
+//	cdsspec overlystrong         reproduce the §6.4.3 overly strong CAS
+//	cdsspec specstats            print the §6.2 specification statistics
+//	cdsspec run <benchmark>      explore one benchmark's unit test
+//	cdsspec dot <benchmark>      print one execution as a Graphviz graph
+//	cdsspec list                 list benchmark names
+//	cdsspec all                  run every experiment in sequence
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "fig7":
+		fig7()
+	case "fig8":
+		fig8()
+	case "knownbugs":
+		knownBugs()
+	case "overlystrong":
+		overlyStrong()
+	case "specstats":
+		specStats()
+	case "list":
+		for _, b := range harness.Benchmarks() {
+			fmt.Println(b.Name)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: cdsspec run <benchmark>")
+			os.Exit(2)
+		}
+		runOne(os.Args[2])
+	case "dot":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: cdsspec dot <benchmark>")
+			os.Exit(2)
+		}
+		dotOne(os.Args[2])
+	case "all":
+		fig7()
+		fmt.Println()
+		fig8()
+		fmt.Println()
+		knownBugs()
+		fmt.Println()
+		overlyStrong()
+		fmt.Println()
+		specStats()
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cdsspec {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|list|all}")
+}
+
+func fig7() {
+	fmt.Println("=== Figure 7: benchmark results ===")
+	var rows []harness.Fig7Row
+	for _, b := range harness.Benchmarks() {
+		rows = append(rows, b.RunFig7())
+	}
+	fmt.Print(harness.FormatFig7(rows))
+}
+
+func fig8() {
+	fmt.Println("=== Figure 8: bug injection detection ===")
+	var rows []harness.Fig8Row
+	for _, b := range harness.Benchmarks() {
+		rows = append(rows, b.RunFig8())
+	}
+	fmt.Print(harness.FormatFig8(rows))
+}
+
+func knownBugs() {
+	fmt.Println("=== §6.4.1: known bugs ===")
+	fmt.Print(harness.FormatKnownBugs(harness.RunKnownBugs()))
+}
+
+func overlyStrong() {
+	fmt.Println("=== §6.4.3: overly strong parameter (Chase-Lev take CAS -> relaxed) ===")
+	r := harness.RunOverlyStrong()
+	fmt.Printf("executions=%d feasible=%d violations=%d\n", r.Executions, r.Feasible, r.Violations)
+	if r.Violations == 0 {
+		fmt.Println("no specification violation: the seq_cst CAS on top is overly strong (authors confirmed)")
+	}
+}
+
+func specStats() {
+	fmt.Println("=== §6.2: specification statistics ===")
+	fmt.Print(harness.FormatSpecStats(harness.RunSpecStats()))
+}
+
+func dotOne(name string) {
+	b := harness.BenchmarkByName(name)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try: cdsspec list\n", name)
+		os.Exit(2)
+	}
+	// The first DFS paths may be pruned (fairness); capture the first
+	// feasible execution and stop shortly after.
+	var dot string
+	cfg := checker.Config{
+		MaxExecutions: 1000,
+		OnExecution: func(sys *checker.System) []*checker.Failure {
+			if dot == "" {
+				dot = checker.ExportDOT(sys)
+				return []*checker.Failure{{Kind: checker.FailAssertion, Msg: "stop after first feasible execution"}}
+			}
+			return nil
+		},
+	}
+	cfg.StopAtFirst = true
+	core.Explore(b.Spec(), cfg, b.Progs(b.Orders())[0])
+	fmt.Print(dot)
+}
+
+func runOne(name string) {
+	b := harness.BenchmarkByName(name)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try: cdsspec list\n", name)
+		os.Exit(2)
+	}
+	row := b.RunFig7()
+	fmt.Print(harness.FormatFig7([]harness.Fig7Row{row}))
+	f8 := b.RunFig8()
+	fmt.Print(harness.FormatFig8([]harness.Fig8Row{f8}))
+}

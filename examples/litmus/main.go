@@ -1,0 +1,116 @@
+// Litmus explores the classic weak-memory litmus tests under the
+// simulated C/C++11 memory model and prints the admitted outcomes —
+// useful both as a sanity check of the substrate and as a tour of what
+// "relaxed behavior" means.
+//
+// Run with: go run ./examples/litmus
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/checker"
+	"repro/internal/memmodel"
+)
+
+// explore runs prog exhaustively and returns its outcome histogram.
+func explore(prog func(root *checker.Thread, report func(string))) map[string]int {
+	outcomes := map[string]int{}
+	var cur []string
+	cfg := checker.Config{
+		OnRunStart: func(sys *checker.System) { cur = nil },
+		OnExecution: func(sys *checker.System) []*checker.Failure {
+			for _, o := range cur {
+				outcomes[o]++
+			}
+			return nil
+		},
+	}
+	checker.Explore(cfg, func(root *checker.Thread) {
+		prog(root, func(o string) { cur = append(cur, o) })
+	})
+	return outcomes
+}
+
+func show(name string, outcomes map[string]int, note string) {
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s: %v\n  %s\n\n", name, keys, note)
+}
+
+func storeBuffering(ord memmodel.MemOrder) map[string]int {
+	return explore(func(root *checker.Thread, report func(string)) {
+		x := root.NewAtomicInit("x", 0)
+		y := root.NewAtomicInit("y", 0)
+		var r1, r2 memmodel.Value
+		a := root.Spawn("a", func(tt *checker.Thread) {
+			x.Store(tt, ord, 1)
+			r1 = y.Load(tt, ord)
+		})
+		b := root.Spawn("b", func(tt *checker.Thread) {
+			y.Store(tt, ord, 1)
+			r2 = x.Load(tt, ord)
+		})
+		root.Join(a)
+		root.Join(b)
+		report(fmt.Sprintf("r1=%d,r2=%d", r1, r2))
+	})
+}
+
+func messagePassing(storeOrd, loadOrd memmodel.MemOrder) map[string]int {
+	return explore(func(root *checker.Thread, report func(string)) {
+		data := root.NewAtomicInit("data", 0)
+		flag := root.NewAtomicInit("flag", 0)
+		w := root.Spawn("w", func(tt *checker.Thread) {
+			data.Store(tt, memmodel.Relaxed, 42)
+			flag.Store(tt, storeOrd, 1)
+		})
+		r := root.Spawn("r", func(tt *checker.Thread) {
+			f := flag.Load(tt, loadOrd)
+			d := data.Load(tt, memmodel.Relaxed)
+			report(fmt.Sprintf("flag=%d,data=%d", f, d))
+		})
+		root.Join(w)
+		root.Join(r)
+	})
+}
+
+func iriw(storeOrd, loadOrd memmodel.MemOrder) map[string]int {
+	return explore(func(root *checker.Thread, report func(string)) {
+		x := root.NewAtomicInit("x", 0)
+		y := root.NewAtomicInit("y", 0)
+		var r1, r2, r3, r4 memmodel.Value
+		ts := []*checker.Thread{
+			root.Spawn("wx", func(tt *checker.Thread) { x.Store(tt, storeOrd, 1) }),
+			root.Spawn("wy", func(tt *checker.Thread) { y.Store(tt, storeOrd, 1) }),
+			root.Spawn("r1", func(tt *checker.Thread) { r1, r2 = x.Load(tt, loadOrd), y.Load(tt, loadOrd) }),
+			root.Spawn("r2", func(tt *checker.Thread) { r3, r4 = y.Load(tt, loadOrd), x.Load(tt, loadOrd) }),
+		}
+		for _, th := range ts {
+			root.Join(th)
+		}
+		report(fmt.Sprintf("%d%d%d%d", r1, r2, r3, r4))
+	})
+}
+
+func main() {
+	fmt.Println("Classic litmus tests under the simulated C/C++11 memory model")
+	fmt.Println()
+
+	show("SB (store buffering), seq_cst", storeBuffering(memmodel.SeqCst),
+		"r1=0,r2=0 is forbidden: seq_cst restores a total order")
+	show("SB (store buffering), relaxed", storeBuffering(memmodel.Relaxed),
+		"r1=0,r2=0 appears: both loads may ignore the other thread's store")
+	show("MP (message passing), release/acquire", messagePassing(memmodel.Release, memmodel.Acquire),
+		"flag=1,data=0 is forbidden: the acquire load synchronizes")
+	show("MP (message passing), relaxed", messagePassing(memmodel.Relaxed, memmodel.Relaxed),
+		"flag=1,data=0 appears: no synchronizes-with edge")
+	show("IRIW, seq_cst", iriw(memmodel.SeqCst, memmodel.SeqCst),
+		"1010 is forbidden: both readers agree on the write order")
+	show("IRIW, release/acquire", iriw(memmodel.Release, memmodel.Acquire),
+		"1010 appears: this is the §1.2 behavior that breaks sequential histories")
+}

@@ -1,0 +1,500 @@
+// Package checker is an operational model checker for the C/C++11 memory
+// model — the substrate the paper's CDSSpec tool plugs into (CDSChecker).
+//
+// Test programs are written against simulated atomics (Atomic, Plain,
+// Mutex, Fence) and executed by a cooperative scheduler, one visible
+// operation at a time. The explorer enumerates executions by depth-first
+// search over two kinds of nondeterminism:
+//
+//   - which runnable thread performs the next visible operation, and
+//   - which visible store each atomic load reads from (stale reads
+//     included, subject to the coherence and seq_cst rules).
+//
+// Backtracking is stateless: the program is re-run from scratch following
+// a recorded decision prefix, exactly as in CDSChecker.
+package checker
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/memmodel"
+)
+
+// Config controls an exploration.
+type Config struct {
+	// MaxExecutions bounds the number of executions explored
+	// (0 = exhaustive).
+	MaxExecutions int
+	// MaxSteps bounds the visible operations per execution; runs that
+	// exceed it are pruned as infeasible. 0 uses a default of 4000.
+	MaxSteps int
+	// MaxThreads bounds simultaneous simulated threads (default 16).
+	MaxThreads int
+	// StopAtFirst stops the exploration at the first failure.
+	StopAtFirst bool
+	// MaxFailures bounds how many failures are retained (default 16).
+	MaxFailures int
+	// TraceLimit bounds the rendered trace length in failure reports
+	// (default 64 actions).
+	TraceLimit int
+	// RandomWalk, when positive, replaces exhaustive DFS with that many
+	// independent random executions (decisions drawn from Seed). Useful
+	// for state spaces too large to exhaust.
+	RandomWalk int
+	// Seed seeds RandomWalk.
+	Seed int64
+	// DisableStaleReads, when set, forces every atomic load to read the
+	// mo-latest store — i.e. explores only sequentially-consistent
+	// executions. Used by the ablation benchmarks.
+	DisableStaleReads bool
+	// DisableLifetimeCheck turns off the unpublished-memory built-in
+	// check, the equivalent of silencing CDSChecker's uninitialized-load
+	// report (the paper does this in §6.4.1 to let the Chase-Lev bug
+	// surface as a specification violation instead).
+	DisableLifetimeCheck bool
+	// OnRunStart runs at the start of every execution, before the root
+	// thread. It typically installs the spec monitor in sys.Aux.
+	OnRunStart func(sys *System)
+	// OnExecution runs after every feasible (completed) execution and
+	// returns any specification failures found in it.
+	OnExecution func(sys *System) []*Failure
+}
+
+func (c *Config) withDefaults() *Config {
+	out := *c
+	if out.MaxSteps == 0 {
+		out.MaxSteps = 4000
+	}
+	if out.MaxThreads == 0 {
+		out.MaxThreads = 16
+	}
+	if out.MaxFailures == 0 {
+		out.MaxFailures = 16
+	}
+	if out.TraceLimit == 0 {
+		out.TraceLimit = 64
+	}
+	return &out
+}
+
+// Result aggregates an exploration.
+type Result struct {
+	// Executions is the total number of executions explored, feasible
+	// or not.
+	Executions int
+	// Feasible is the number of executions that ran to completion and
+	// were handed to the specification checker.
+	Feasible int
+	// Pruned is the number of abandoned executions (livelock fairness,
+	// step bound).
+	Pruned int
+	// Failures holds detected failures, capped at Config.MaxFailures.
+	Failures []*Failure
+	// FailureCount counts all failures, including ones not retained.
+	FailureCount int
+	// Elapsed is the wall-clock exploration time.
+	Elapsed time.Duration
+	// Exhausted reports whether the decision space was fully explored
+	// (false when MaxExecutions or StopAtFirst cut it short).
+	Exhausted bool
+}
+
+// HasKind reports whether any recorded failure has the given kind.
+func (r *Result) HasKind(k FailureKind) bool {
+	for _, f := range r.Failures {
+		if f.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBuiltIn reports whether any recorded failure is a built-in check.
+func (r *Result) HasBuiltIn() bool {
+	for _, f := range r.Failures {
+		if f.Kind.BuiltIn() {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstFailure returns the first retained failure, or nil.
+func (r *Result) FirstFailure() *Failure {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return r.Failures[0]
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("executions=%d feasible=%d pruned=%d failures=%d elapsed=%v",
+		r.Executions, r.Feasible, r.Pruned, r.FailureCount, r.Elapsed)
+}
+
+// decision is one explored choice point: either a value choice
+// ('r'/'c', using n and chosen) or a scheduling choice ('s', using
+// cands/chosen/explored).
+type decision struct {
+	kind   byte
+	n      int
+	chosen int
+
+	// Scheduling decisions ('s'):
+	//
+	// cands are the candidate thread ids at this node — the enabled
+	// threads minus the ones asleep under the sleep-set reduction.
+	cands []int
+	// explored lists candidates whose subtrees are fully explored; when
+	// the node is replayed on the way to a sibling, they are put to
+	// sleep (their next operation need not be re-interleaved until a
+	// dependent operation wakes them — Godefroid's sleep sets).
+	explored []int
+}
+
+// dfsChooser replays a decision prefix and extends it depth-first.
+type dfsChooser struct {
+	decisions []decision
+	depth     int
+	disableRF bool
+}
+
+func (d *dfsChooser) choose(n int, kind byte) int {
+	if n <= 1 {
+		return 0
+	}
+	if d.disableRF && (kind == 'r' || kind == 'c') {
+		// SC-only exploration: always pick the newest store / the
+		// success branch (choice 0 is "success" for CAS and we must
+		// map loads to the latest store, which is the last index).
+		if kind == 'r' {
+			return n - 1
+		}
+		return 0
+	}
+	if d.depth < len(d.decisions) {
+		c := d.decisions[d.depth].chosen
+		d.depth++
+		return c
+	}
+	d.decisions = append(d.decisions, decision{n: n, chosen: 0, kind: kind})
+	d.depth++
+	return 0
+}
+
+func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
+	var cands []int
+	for _, t := range enabled {
+		if t.state != tsYield && s.sleep.asleep(t.id) {
+			continue
+		}
+		cands = append(cands, t.id)
+	}
+	if len(cands) == 0 {
+		// Every enabled thread is asleep: this interleaving is
+		// equivalent to one already explored.
+		return nil
+	}
+	if len(cands) == 1 {
+		// No branching: not recorded (replay recomputes it identically).
+		return s.threads[cands[0]]
+	}
+	if d.depth < len(d.decisions) {
+		nd := &d.decisions[d.depth]
+		d.depth++
+		for _, tid := range nd.explored {
+			t := s.threads[tid]
+			if t.state != tsYield {
+				s.sleep.sleep(tid, t.pendSig)
+			}
+		}
+		return s.threads[nd.cands[nd.chosen]]
+	}
+	d.decisions = append(d.decisions, decision{kind: 's', cands: cands})
+	d.depth++
+	return s.threads[cands[0]]
+}
+
+// advance moves to the next leaf of the decision tree; it reports false
+// when the space is exhausted.
+func (d *dfsChooser) advance() bool {
+	for i := len(d.decisions) - 1; i >= 0; i-- {
+		nd := &d.decisions[i]
+		if nd.kind == 's' {
+			nd.explored = append(nd.explored, nd.cands[nd.chosen])
+			next := -1
+			for j, tid := range nd.cands {
+				if !contains(nd.explored, tid) {
+					next = j
+					break
+				}
+			}
+			if next >= 0 {
+				nd.chosen = next
+				d.decisions = d.decisions[:i+1]
+				d.depth = 0
+				return true
+			}
+			continue // node exhausted: pop
+		}
+		if nd.chosen+1 < nd.n {
+			nd.chosen++
+			d.decisions = d.decisions[:i+1]
+			d.depth = 0
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// randChooser draws every decision uniformly at random.
+type randChooser struct {
+	rng       *rand.Rand
+	disableRF bool
+}
+
+func (r *randChooser) choose(n int, kind byte) int {
+	if n <= 1 {
+		return 0
+	}
+	if r.disableRF && (kind == 'r' || kind == 'c') {
+		if kind == 'r' {
+			return n - 1
+		}
+		return 0
+	}
+	return r.rng.Intn(n)
+}
+
+func (r *randChooser) pickThread(s *System, enabled []*Thread) *Thread {
+	return enabled[r.rng.Intn(len(enabled))]
+}
+
+// Explore enumerates executions of root under cfg and returns the
+// aggregated result.
+func Explore(cfg Config, root func(*Thread)) *Result {
+	c := cfg.withDefaults()
+	res := &Result{}
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	record := func(f *Failure) {
+		res.FailureCount++
+		if len(res.Failures) < c.MaxFailures {
+			res.Failures = append(res.Failures, f)
+		}
+	}
+
+	runOne := func(ch chooser) bool {
+		res.Executions++
+		sys := runExecution(c, ch, root, res.Executions)
+		switch {
+		case sys.pruned:
+			res.Pruned++
+			return false
+		case sys.failure != nil:
+			record(sys.failure)
+			return true
+		default:
+			res.Feasible++
+			if c.OnExecution != nil {
+				fails := c.OnExecution(sys)
+				for _, f := range fails {
+					if f.Execution == 0 {
+						f.Execution = res.Executions
+					}
+					record(f)
+				}
+				return len(fails) > 0
+			}
+			return false
+		}
+	}
+
+	if c.RandomWalk > 0 {
+		rng := rand.New(rand.NewSource(c.Seed))
+		for i := 0; i < c.RandomWalk; i++ {
+			failed := runOne(&randChooser{rng: rng, disableRF: c.DisableStaleReads})
+			if failed && c.StopAtFirst {
+				return res
+			}
+		}
+		return res
+	}
+
+	d := &dfsChooser{disableRF: c.DisableStaleReads}
+	for {
+		failed := runOne(d)
+		if failed && c.StopAtFirst {
+			return res
+		}
+		if c.MaxExecutions > 0 && res.Executions >= c.MaxExecutions {
+			return res
+		}
+		if !d.advance() {
+			res.Exhausted = true
+			return res
+		}
+	}
+}
+
+// runExecution performs a single execution under the given chooser.
+func runExecution(cfg *Config, ch chooser, root func(*Thread), execIndex int) *System {
+	sys := &System{cfg: cfg, chooser: ch, execIndex: execIndex, sleep: newSleepSet()}
+	if cfg.OnRunStart != nil {
+		cfg.OnRunStart(sys)
+	}
+	sys.newThread("main", root, memmodel.NewClockVector())
+
+	for {
+		if sys.aborted {
+			break
+		}
+		enabled := sys.enabledThreads()
+		if len(enabled) == 0 {
+			if sys.allFinished() {
+				break // normal completion
+			}
+			if !sys.wakeLastResort() {
+				sys.reportStuck()
+				break
+			}
+			continue
+		}
+		t := ch.pickThread(sys, enabled)
+		if t == nil {
+			sys.pruned = true
+			sys.aborted = true
+			break
+		}
+		sys.grant(t)
+	}
+	sys.drain()
+	return sys
+}
+
+// enabledThreads returns the threads that may take a step right now, in
+// deterministic (thread-id) order.
+func (s *System) enabledThreads() []*Thread {
+	var out []*Thread
+	for _, t := range s.threads {
+		switch t.state {
+		case tsParked:
+			out = append(out, t)
+		case tsYield:
+			if s.storeEpoch > t.yieldEpoch {
+				out = append(out, t)
+			}
+		case tsLock:
+			if t.waitMutex.owner == -1 {
+				out = append(out, t)
+			}
+		case tsJoin:
+			if t.waitThread.state == tsFinished {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+func (s *System) allFinished() bool {
+	for _, t := range s.threads {
+		if t.state != tsFinished {
+			return false
+		}
+	}
+	return true
+}
+
+// wakeLastResort re-enables yielded spinners when nothing else can run:
+// a spinner that then makes no state change is not retried at the same
+// epoch, which both guarantees termination and detects livelocks.
+func (s *System) wakeLastResort() bool {
+	var cands []*Thread
+	for _, t := range s.threads {
+		if t.state == tsYield && t.lastResortEpoch != s.storeEpoch {
+			cands = append(cands, t)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	idx := s.chooser.choose(len(cands), 'l')
+	t := cands[idx]
+	t.lastResortEpoch = s.storeEpoch
+	s.grant(t)
+	return true
+}
+
+// reportStuck handles the no-enabled-threads case from scheduler context
+// (no thread to unwind, so no panic). If some yielded spinner read a store
+// that has since been superseded, the execution is an unfair one — the
+// spinner could have read the newer value, and the sibling branch where it
+// does exists — so the run is pruned rather than reported (CDSChecker's
+// fairness assumption). Otherwise the stuck state is a genuine deadlock or
+// livelock.
+func (s *System) reportStuck() {
+	kind := FailDeadlock
+	msg := "deadlock: threads blocked on locks/joins that cannot be satisfied"
+	for _, t := range s.threads {
+		if t.state != tsYield {
+			continue
+		}
+		kind = FailLivelock
+		msg = "livelock: a spin loop can never be satisfied"
+		for _, rr := range t.recentReads {
+			if rr.loc.lastStoreIdx() > rr.rfMO {
+				// Unfair: prune without reporting.
+				s.pruned = true
+				s.aborted = true
+				return
+			}
+		}
+	}
+	if s.failure == nil {
+		s.failure = &Failure{
+			Kind:      kind,
+			Msg:       msg,
+			Execution: s.execIndex,
+			Trace:     s.TraceString(s.cfg.TraceLimit),
+		}
+	}
+	s.aborted = true
+}
+
+// grant hands the baton to t and waits for it to park or finish.
+func (s *System) grant(t *Thread) {
+	t.resume <- struct{}{}
+	<-t.parked
+}
+
+// drain pokes every parked thread with a poison grant so its goroutine
+// exits before the next execution starts.
+func (s *System) drain() {
+	s.aborted = true
+	for {
+		progress := false
+		for _, t := range s.threads {
+			if t.state != tsFinished {
+				s.grant(t)
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}

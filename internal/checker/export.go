@@ -1,0 +1,79 @@
+package checker
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memmodel"
+)
+
+// ExportDOT renders the execution's action graph in Graphviz DOT format,
+// the diagnostic view CDSChecker prints for buggy executions: one column
+// per thread (sequenced-before edges) plus reads-from edges between
+// stores and the loads that observed them.
+func ExportDOT(sys *System) string {
+	var b strings.Builder
+	b.WriteString("digraph execution {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	byThread := map[int][]*memmodel.Action{}
+	maxTid := 0
+	for _, a := range sys.Actions() {
+		byThread[a.Thread] = append(byThread[a.Thread], a)
+		if a.Thread > maxTid {
+			maxTid = a.Thread
+		}
+	}
+	for tid := 0; tid <= maxTid; tid++ {
+		acts := byThread[tid]
+		if len(acts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_t%d {\n    label=\"T%d\";\n", tid, tid)
+		for _, a := range acts {
+			fmt.Fprintf(&b, "    a%d [label=%q];\n", a.ID, nodeLabel(a))
+		}
+		b.WriteString("  }\n")
+		// Sequenced-before chain.
+		for i := 1; i < len(acts); i++ {
+			fmt.Fprintf(&b, "  a%d -> a%d [style=dotted, arrowhead=none];\n",
+				acts[i-1].ID, acts[i].ID)
+		}
+	}
+	// Reads-from edges.
+	for _, a := range sys.Actions() {
+		if a.RF != nil {
+			fmt.Fprintf(&b, "  a%d -> a%d [color=red, label=\"rf\", fontsize=8];\n",
+				a.RF.ID, a.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeLabel(a *memmodel.Action) string {
+	switch {
+	case a.Kind.IsAtomic():
+		rmw := ""
+		if a.Kind == memmodel.KindAtomicRMW {
+			rmw = "rmw "
+		}
+		op := "R"
+		if a.Kind == memmodel.KindAtomicStore || a.Kind == memmodel.KindAtomicRMW {
+			op = "W"
+		}
+		sc := ""
+		if a.SCIndex >= 0 {
+			sc = fmt.Sprintf(" S%d", a.SCIndex)
+		}
+		return fmt.Sprintf("#%d %s%s %s=%d (%s)%s", a.ID, rmw, op, a.LocName, a.Value, a.Order, sc)
+	case a.Kind == memmodel.KindPlainLoad:
+		return fmt.Sprintf("#%d r %s=%d", a.ID, a.LocName, a.Value)
+	case a.Kind == memmodel.KindPlainStore:
+		return fmt.Sprintf("#%d w %s=%d", a.ID, a.LocName, a.Value)
+	case a.Kind == memmodel.KindFence:
+		return fmt.Sprintf("#%d fence(%s)", a.ID, a.Order)
+	default:
+		return fmt.Sprintf("#%d %s", a.ID, a.Kind)
+	}
+}

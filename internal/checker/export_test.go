@@ -1,0 +1,62 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// TestExportDOT: the DOT export contains every thread cluster, the
+// accessed locations, and a reads-from edge.
+func TestExportDOT(t *testing.T) {
+	var dot string
+	cfg := Config{
+		MaxExecutions: 1,
+		OnExecution: func(sys *System) []*Failure {
+			dot = ExportDOT(sys)
+			return nil
+		},
+	}
+	res := Explore(cfg, func(root *Thread) {
+		x := root.NewAtomicInit("shared", 0)
+		a := root.Spawn("a", func(tt *Thread) { x.Store(tt, memmodel.Release, 1) })
+		b := root.Spawn("b", func(tt *Thread) { _ = x.Load(tt, memmodel.Acquire) })
+		root.Join(a)
+		root.Join(b)
+	})
+	if res.Feasible == 0 {
+		t.Fatalf("no feasible execution: %v", res)
+	}
+	for _, want := range []string{
+		"digraph execution",
+		"cluster_t0", "cluster_t1", "cluster_t2",
+		"shared",
+		`label="rf"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT export missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestExportDOTFenceAndPlain: fences and plain accesses render too.
+func TestExportDOTFenceAndPlain(t *testing.T) {
+	var dot string
+	cfg := Config{
+		MaxExecutions: 1,
+		OnExecution: func(sys *System) []*Failure {
+			dot = ExportDOT(sys)
+			return nil
+		},
+	}
+	Explore(cfg, func(root *Thread) {
+		p := root.NewPlainInit("plainloc", 0)
+		p.Store(root, 3)
+		_ = p.Load(root)
+		Fence(root, memmodel.SeqCst)
+	})
+	if !strings.Contains(dot, "plainloc") || !strings.Contains(dot, "fence(seq_cst)") {
+		t.Errorf("DOT export missing plain/fence nodes:\n%s", dot)
+	}
+}

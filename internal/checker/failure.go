@@ -1,0 +1,86 @@
+package checker
+
+import "fmt"
+
+// FailureKind classifies a problem detected during exploration.
+type FailureKind uint8
+
+const (
+	// FailDataRace is a data race on a plain (non-atomic) location —
+	// a CDSChecker built-in check.
+	FailDataRace FailureKind = iota
+	// FailUninitLoad is an atomic load with no store to read from —
+	// a CDSChecker built-in check.
+	FailUninitLoad
+	// FailDeadlock means no thread can ever make progress (threads
+	// blocked on locks/joins that will never be satisfied).
+	FailDeadlock
+	// FailLivelock means all remaining threads spin in yield loops with
+	// no possible state change.
+	FailLivelock
+	// FailTooManySteps means the execution exceeded the per-run step
+	// bound; the run is pruned rather than reported as a bug.
+	FailTooManySteps
+	// FailAssertion is a user assertion failure (Thread.Assert) or a
+	// specification violation reported by the OnExecution hook.
+	FailAssertion
+	// FailAdmissibility is an inadmissible execution reported by the
+	// specification checker (the CDSSpec "warning" channel).
+	FailAdmissibility
+	// FailAPIMisuse is an incorrect use of the checker API itself
+	// (unlocking a mutex the thread does not hold, etc.).
+	FailAPIMisuse
+)
+
+// String returns a short name for the failure kind.
+func (k FailureKind) String() string {
+	switch k {
+	case FailDataRace:
+		return "data-race"
+	case FailUninitLoad:
+		return "uninitialized-load"
+	case FailDeadlock:
+		return "deadlock"
+	case FailLivelock:
+		return "livelock"
+	case FailTooManySteps:
+		return "step-bound"
+	case FailAssertion:
+		return "assertion"
+	case FailAdmissibility:
+		return "admissibility"
+	case FailAPIMisuse:
+		return "api-misuse"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", uint8(k))
+	}
+}
+
+// BuiltIn reports whether the failure corresponds to one of CDSChecker's
+// built-in checks (as opposed to a CDSSpec specification check). The
+// paper's Figure 8 classifies injected-bug detections by this distinction.
+func (k FailureKind) BuiltIn() bool {
+	switch k {
+	case FailDataRace, FailUninitLoad, FailDeadlock, FailLivelock:
+		return true
+	}
+	return false
+}
+
+// Failure describes one detected problem, with enough context to act on.
+type Failure struct {
+	Kind FailureKind
+	// Msg is a human-readable description.
+	Msg string
+	// Execution is the 1-based index of the execution that exposed the
+	// failure.
+	Execution int
+	// Trace is a rendering of the execution's action trace (may be
+	// truncated).
+	Trace string
+}
+
+// Error implements the error interface.
+func (f *Failure) Error() string {
+	return fmt.Sprintf("%s: %s (execution %d)", f.Kind, f.Msg, f.Execution)
+}

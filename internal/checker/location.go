@@ -1,0 +1,82 @@
+package checker
+
+import (
+	"repro/internal/memmodel"
+)
+
+// storeRec is one entry in a location's modification order.
+type storeRec struct {
+	act *memmodel.Action
+	// sync is the release clock an acquire load synchronizes with when
+	// it reads this store: the clock of the head(s) of the release
+	// sequence(s) this store belongs to, nil if none.
+	sync *memmodel.ClockVector
+}
+
+// loadRec records a past load for read-read coherence.
+type loadRec struct {
+	tid  int
+	tseq uint32
+	// rfMO is the modification-order index of the store the load read.
+	rfMO int
+}
+
+// readRef identifies which store a thread read from a location, for the
+// spin-loop fairness check.
+type readRef struct {
+	loc  *location
+	rfMO int
+}
+
+// scFloor records a seq_cst visibility constraint: any load whose
+// effective SC position is after scIdx must read the store at
+// modification-order index moIdx or a later one.
+type scFloor struct {
+	scIdx int
+	moIdx int
+}
+
+// location is the checker-internal state of one memory location.
+type location struct {
+	id     int
+	name   string
+	atomic bool
+	// creator identifies the creating thread and the per-thread sequence
+	// number its creation is ordered at: an access by another thread
+	// whose clock does not cover it touches memory whose construction
+	// never happened-before the access (C/C++ object-lifetime UB).
+	creatorTid  int
+	creatorTSeq uint32
+
+	// stores is the modification order (the order stores executed).
+	stores []storeRec
+	// loads is every load of this location so far.
+	loads []loadRec
+	// lastStoreByThread maps thread id -> latest mo index it stored.
+	lastStoreByThread map[int]int
+	// scFloors are seq_cst visibility constraints (monotone in scIdx).
+	scFloors []scFloor
+}
+
+// lastStoreIdx returns the mo index of the newest store, or -1.
+func (l *location) lastStoreIdx() int { return len(l.stores) - 1 }
+
+// Atomic is a simulated C/C++11 atomic location. All accesses must go
+// through a *Thread so the checker can schedule and record them.
+type Atomic struct {
+	loc *location
+	sys *System
+}
+
+// Name returns the debug name of the location.
+func (a *Atomic) Name() string { return a.loc.name }
+
+// Plain is a simulated non-atomic location, subject to data-race
+// detection.
+type Plain struct {
+	loc *location
+	sys *System
+}
+
+// Name returns the debug name of the location.
+func (p *Plain) Name() string { return p.loc.name }

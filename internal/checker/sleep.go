@@ -1,0 +1,76 @@
+package checker
+
+// pendSig describes the visible operation a parked thread is about to
+// perform — enough to decide dependency for the sleep-set reduction.
+type pendSig struct {
+	// class partitions operations for the dependency check.
+	class sigClass
+	// loc is the location id (memory ops) or mutex id (lock ops), -1
+	// otherwise.
+	loc int
+	// write reports whether the op may write the location (store/RMW).
+	write bool
+	// sc reports whether the op participates in the seq_cst order.
+	sc bool
+}
+
+type sigClass uint8
+
+const (
+	sigNone  sigClass = iota // join, thread start: op unknown or opaque
+	sigMem                   // atomic load/store/RMW
+	sigMutex                 // lock/trylock/unlock
+	sigFence                 // stand-alone fence
+	sigYield
+)
+
+// dependent reports whether two operations may not commute: exploring
+// both orders is then necessary. The relation is deliberately
+// conservative (dependence where unsure), which preserves soundness of
+// the reduction; in particular a thread parked at its start point or at a
+// join has an unknown next visible operation (sigNone) and is treated as
+// dependent with everything, so it can never be starved by the sleep set.
+func dependent(a, b pendSig) bool {
+	if a.class == sigNone || b.class == sigNone {
+		return true
+	}
+	// Two seq_cst operations never commute: their positions in the
+	// total order S are observable (IRIW-style).
+	if a.sc && b.sc {
+		return true
+	}
+	switch {
+	case a.class == sigMem && b.class == sigMem:
+		return a.loc == b.loc && (a.write || b.write)
+	case a.class == sigMutex && b.class == sigMutex:
+		return a.loc == b.loc
+	}
+	return false
+}
+
+// sleepSet tracks threads that are asleep in the current subtree: their
+// next operation was already explored in an earlier sibling, and running
+// them now would reproduce an equivalent interleaving. A sleeping thread
+// wakes when a dependent operation executes.
+type sleepSet struct {
+	m map[int]pendSig
+}
+
+func newSleepSet() *sleepSet { return &sleepSet{m: map[int]pendSig{}} }
+
+func (s *sleepSet) sleep(tid int, sig pendSig) { s.m[tid] = sig }
+
+func (s *sleepSet) asleep(tid int) bool {
+	_, ok := s.m[tid]
+	return ok
+}
+
+// wake removes every sleeper whose pending operation is dependent with
+// the operation that just executed.
+func (s *sleepSet) wake(executed pendSig) {
+	for tid, sig := range s.m {
+		if dependent(sig, executed) {
+			delete(s.m, tid)
+		}
+	}
+}

@@ -1,0 +1,572 @@
+package checker
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memmodel"
+)
+
+// chooser supplies nondeterministic decisions to a running execution.
+// The explorer implements it with a replayable decision stack.
+type chooser interface {
+	// choose picks one of n alternatives (n >= 1) for value
+	// nondeterminism ('r' reads-from, 'c' CAS outcome).
+	choose(n int, kind byte) int
+	// pickThread picks the next thread to run among the enabled ones.
+	// A nil result prunes the execution as redundant (every enabled
+	// thread is asleep under the sleep-set reduction).
+	pickThread(s *System, enabled []*Thread) *Thread
+}
+
+// System is the state of one simulated execution: threads, locations,
+// the action trace, and the seq_cst bookkeeping. A fresh System is built
+// for every execution the explorer runs.
+type System struct {
+	cfg     *Config
+	chooser chooser
+
+	threads []*Thread
+	locs    []*location
+	actions []*memmodel.Action
+
+	// scCount is the number of seq_cst actions so far (the next SC
+	// index to hand out).
+	scCount int
+	// storeEpoch counts state changes that can wake yielded spinners.
+	storeEpoch uint64
+	stepCount  int
+
+	execIndex  int
+	aborted    bool
+	pruned     bool
+	failure    *Failure
+	mutexCount int
+
+	// sleep is the sleep set of the current exploration subtree.
+	sleep *sleepSet
+
+	// Aux carries per-execution state for higher layers (the CDSSpec
+	// monitor installs itself here from the OnRunStart hook).
+	Aux any
+}
+
+// Actions returns the action trace of the execution so far.
+func (s *System) Actions() []*memmodel.Action { return s.actions }
+
+// Failure returns the failure that aborted the execution, if any.
+func (s *System) Failure() *Failure { return s.failure }
+
+// ExecIndex returns the 1-based index of this execution within the
+// exploration.
+func (s *System) ExecIndex() int { return s.execIndex }
+
+// failf records a failure and abandons the current execution by
+// unwinding the calling simulated thread.
+func (s *System) failf(kind FailureKind, format string, args ...any) {
+	if s.failure == nil {
+		s.failure = &Failure{
+			Kind:      kind,
+			Msg:       fmt.Sprintf(format, args...),
+			Execution: s.execIndex,
+			Trace:     s.TraceString(s.cfg.TraceLimit),
+		}
+	}
+	s.aborted = true
+	panic(abortRun{})
+}
+
+// prune abandons the current execution without reporting a bug.
+func (s *System) prune() {
+	s.pruned = true
+	s.aborted = true
+	panic(abortRun{})
+}
+
+// TraceString renders up to limit trailing actions of the trace.
+func (s *System) TraceString(limit int) string {
+	acts := s.actions
+	var b strings.Builder
+	start := 0
+	if limit > 0 && len(acts) > limit {
+		start = len(acts) - limit
+		fmt.Fprintf(&b, "... (%d earlier actions)\n", start)
+	}
+	for _, a := range acts[start:] {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (s *System) newThread(name string, fn func(*Thread), clock *memmodel.ClockVector) *Thread {
+	if len(s.threads) >= s.cfg.MaxThreads {
+		s.failf(FailAPIMisuse, "too many threads (max %d)", s.cfg.MaxThreads)
+	}
+	t := &Thread{
+		sys:             s,
+		id:              len(s.threads),
+		name:            name,
+		clock:           clock,
+		lastSCFence:     -1,
+		lastResortEpoch: ^uint64(0),
+		acqPending:      memmodel.NewClockVector(),
+		fn:              fn,
+		resume:          make(chan struct{}),
+		parked:          make(chan struct{}),
+	}
+	s.threads = append(s.threads, t)
+	go t.threadMain()
+	<-t.parked // wait for the child to park at its start point
+	return t
+}
+
+func (s *System) newAtomic(name string) *Atomic {
+	return &Atomic{loc: s.newLocation(name, true), sys: s}
+}
+
+func (s *System) newPlain(name string) *Plain {
+	return &Plain{loc: s.newLocation(name, false), sys: s}
+}
+
+// newLocation registers a location. Creation is ordered just before the
+// creating thread's next action, so a location is published to exactly
+// the threads that synchronized with anything the creator did afterwards.
+func (s *System) newLocation(name string, atomic bool) *location {
+	tid, tseq := 0, uint32(0)
+	if len(s.threads) > 0 {
+		if t := s.creatingThread(); t != nil {
+			tid, tseq = t.id, t.tseq+1
+		}
+	}
+	l := &location{
+		id:                len(s.locs),
+		name:              name,
+		atomic:            atomic,
+		creatorTid:        tid,
+		creatorTSeq:       tseq,
+		lastStoreByThread: map[int]int{},
+	}
+	s.locs = append(s.locs, l)
+	return l
+}
+
+// creatingThread returns the thread currently holding the baton.
+func (s *System) creatingThread() *Thread {
+	for _, t := range s.threads {
+		if t.state == tsRunning {
+			return t
+		}
+	}
+	return nil
+}
+
+// checkLifetime enforces that the location's creation happened-before the
+// access (the other half of CDSChecker's uninitialized-memory checking).
+func (s *System) checkLifetime(t *Thread, loc *location, what string) {
+	if s.cfg.DisableLifetimeCheck {
+		return
+	}
+	if t.id == loc.creatorTid || t.clock.Contains(loc.creatorTid, loc.creatorTSeq) {
+		return
+	}
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	s.record(t, memmodel.KindAtomicLoad, memmodel.Relaxed, loc, 0)
+	s.failf(FailUninitLoad, "%s of %s: the location's creation does not happen-before the access (unpublished memory)", what, loc.name)
+}
+
+// record appends an action to the trace and snapshots the thread's clock.
+// The caller must already have bumped t.tseq and applied any clock merges
+// the action performs.
+func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, loc *location, v memmodel.Value) *memmodel.Action {
+	act := &memmodel.Action{
+		ID:      len(s.actions),
+		Thread:  t.id,
+		TSeq:    t.tseq,
+		Kind:    kind,
+		Order:   ord,
+		LocID:   -1,
+		SCIndex: -1,
+		Value:   v,
+	}
+	if loc != nil {
+		act.LocID = loc.id
+		act.LocName = loc.name
+	}
+	act.Clock = t.clock.Clone()
+	s.actions = append(s.actions, act)
+	t.lastAction = act
+	return act
+}
+
+// bumpStep advances the per-run step counter and prunes runaway runs.
+func (s *System) bumpStep() {
+	s.stepCount++
+	if s.cfg.MaxSteps > 0 && s.stepCount > s.cfg.MaxSteps {
+		if s.failure == nil {
+			s.failure = &Failure{
+				Kind:      FailTooManySteps,
+				Msg:       fmt.Sprintf("execution exceeded %d steps", s.cfg.MaxSteps),
+				Execution: s.execIndex,
+			}
+		}
+		s.prune()
+	}
+}
+
+// visibleFloor computes the lowest modification-order index of loc that a
+// load by thread t with order ord may read, applying:
+//
+//   - write-read coherence: a store that happens-before the load hides all
+//     mo-earlier stores;
+//   - read-read coherence: a load that happens-before this one pins the
+//     floor at the store it read;
+//   - the seq_cst rules: the load may not read mo-before the floor implied
+//     by SC stores and SC fences that precede its effective SC position.
+func (s *System) visibleFloor(t *Thread, loc *location, ord memmodel.MemOrder) (floor int, published bool) {
+	for i, st := range loc.stores {
+		if t.clock.Contains(st.act.Thread, st.act.TSeq) {
+			published = true
+			if i > floor {
+				floor = i
+			}
+		}
+	}
+	for _, lr := range loc.loads {
+		if lr.rfMO > floor && t.clock.Contains(lr.tid, lr.tseq) {
+			floor = lr.rfMO
+		}
+	}
+	// Effective SC position of the reader.
+	scIdx := -1
+	if ord.IsSeqCst() {
+		scIdx = s.scCount // all existing SC actions precede it
+	} else if t.lastSCFence >= 0 {
+		scIdx = t.lastSCFence
+	}
+	if scIdx >= 0 {
+		for _, f := range loc.scFloors {
+			if f.scIdx < scIdx && f.moIdx > floor {
+				floor = f.moIdx
+			}
+		}
+	}
+	return floor, published
+}
+
+// checkPublished enforces CDSChecker's uninitialized-load check in its
+// full form: a load of a location none of whose stores happens-before the
+// load is reading memory whose initialization was never made visible to
+// this thread (e.g. a node reached through an unsynchronized pointer).
+func (s *System) checkPublished(t *Thread, loc *location, published bool, what string) {
+	if published || s.cfg.DisableLifetimeCheck {
+		return
+	}
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	s.record(t, memmodel.KindAtomicLoad, memmodel.Relaxed, loc, 0)
+	s.failf(FailUninitLoad, "%s of %s: no initializing store happens-before the access (reads unpublished memory)", what, loc.name)
+}
+
+// releaseClockFor computes the release clock ("sync clock") carried by a
+// new store: the clock an acquire load will merge when it reads the store.
+//   - A release-or-stronger store releases the thread's current clock.
+//   - A relaxed store after a release fence releases the fence's clock.
+//   - An RMW additionally continues the release sequence of the store it
+//     read from.
+func (s *System) releaseClockFor(t *Thread, ord memmodel.MemOrder, rfSync *memmodel.ClockVector) *memmodel.ClockVector {
+	var cv *memmodel.ClockVector
+	switch {
+	case ord.IsRelease():
+		cv = t.clock.Clone()
+	case t.relFence != nil:
+		cv = t.relFence.Clone()
+	}
+	if rfSync != nil {
+		if cv == nil {
+			cv = memmodel.NewClockVector()
+		}
+		cv.Merge(rfSync)
+	}
+	return cv
+}
+
+// applyReadSync applies the acquire side of reading store st.
+func (s *System) applyReadSync(t *Thread, ord memmodel.MemOrder, st storeRec) {
+	if st.sync == nil {
+		return
+	}
+	if ord.IsAcquire() {
+		t.clock.Merge(st.sync)
+	} else {
+		// A later acquire fence can still pick this up.
+		t.acqPending.Merge(st.sync)
+	}
+}
+
+func (s *System) assignSC(act *memmodel.Action, ord memmodel.MemOrder) {
+	if ord.IsSeqCst() {
+		act.SCIndex = s.scCount
+		s.scCount++
+	}
+}
+
+// doLoad implements an atomic load: compute the visible stores, branch on
+// the choice, apply synchronization, and record the action.
+func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmodel.Value {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "atomic load")
+	if len(loc.stores) == 0 {
+		t.tseq++
+		t.clock.Set(t.id, t.tseq)
+		s.record(t, memmodel.KindAtomicLoad, ord, loc, 0)
+		s.failf(FailUninitLoad, "atomic load of %s before any store", loc.name)
+	}
+	floor, published := s.visibleFloor(t, loc, ord)
+	s.checkPublished(t, loc, published, "atomic load")
+	n := len(loc.stores) - floor
+	idx := floor + s.chooser.choose(n, 'r')
+	st := loc.stores[idx]
+
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	s.applyReadSync(t, ord, st)
+	act := s.record(t, memmodel.KindAtomicLoad, ord, loc, st.act.Value)
+	act.RF = st.act
+	s.assignSC(act, ord)
+	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
+	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
+	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: ord.IsSeqCst()})
+	return st.act.Value
+}
+
+// doStore implements an atomic store. rfSync is non-nil only when called
+// from doRMW (release-sequence continuation).
+func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memmodel.Value, rfSync *memmodel.ClockVector) *memmodel.Action {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "atomic store")
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	sync := s.releaseClockFor(t, ord, rfSync)
+	act := s.record(t, memmodel.KindAtomicStore, ord, loc, v)
+	moIdx := len(loc.stores)
+	act.MOIndex = moIdx
+	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
+	loc.lastStoreByThread[t.id] = moIdx
+	s.assignSC(act, ord)
+	if act.SCIndex >= 0 {
+		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
+	}
+	s.storeEpoch++
+	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: ord.IsSeqCst()})
+	return act
+}
+
+// doRMW implements an atomic read-modify-write. Per C/C++11 atomicity the
+// read half observes the mo-latest store; the write half is mo-adjacent.
+func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(memmodel.Value) memmodel.Value) memmodel.Value {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "atomic RMW")
+	if len(loc.stores) == 0 {
+		t.tseq++
+		t.clock.Set(t.id, t.tseq)
+		s.record(t, memmodel.KindAtomicRMW, ord, loc, 0)
+		s.failf(FailUninitLoad, "atomic RMW of %s before any store", loc.name)
+	}
+	_, published := s.visibleFloor(t, loc, ord)
+	s.checkPublished(t, loc, published, "atomic RMW")
+	last := loc.stores[len(loc.stores)-1]
+	old := last.act.Value
+
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	s.applyReadSync(t, ord, last)
+	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: len(loc.stores) - 1})
+
+	sync := s.releaseClockFor(t, ord, last.sync)
+	act := s.record(t, memmodel.KindAtomicRMW, ord, loc, f(old))
+	act.RF = last.act
+	moIdx := len(loc.stores)
+	act.MOIndex = moIdx
+	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
+	loc.lastStoreByThread[t.id] = moIdx
+	s.assignSC(act, ord)
+	if act.SCIndex >= 0 {
+		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
+	}
+	s.storeEpoch++
+	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: ord.IsSeqCst()})
+	return old
+}
+
+// doCAS implements compare_exchange_strong. The outcome set is:
+//   - success (when the mo-latest value equals expected), plus
+//   - one failure alternative per visible store whose value differs from
+//     expected (a failing CAS is just a load with failOrd).
+func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Value, succOrd, failOrd memmodel.MemOrder) (memmodel.Value, bool) {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "CAS")
+	if len(loc.stores) == 0 {
+		t.tseq++
+		t.clock.Set(t.id, t.tseq)
+		s.record(t, memmodel.KindAtomicRMW, succOrd, loc, 0)
+		s.failf(FailUninitLoad, "CAS of %s before any store", loc.name)
+	}
+	lastIdx := len(loc.stores) - 1
+	last := loc.stores[lastIdx]
+	canSucceed := last.act.Value == expected
+
+	floor, published := s.visibleFloor(t, loc, failOrd)
+	s.checkPublished(t, loc, published, "CAS")
+	var failIdxs []int
+	for i := floor; i < len(loc.stores); i++ {
+		if loc.stores[i].act.Value != expected {
+			failIdxs = append(failIdxs, i)
+		}
+	}
+	n := len(failIdxs)
+	if canSucceed {
+		n++
+	}
+	if n == 0 {
+		// Every visible store holds the expected value but the latest
+		// is not it — impossible since the latest is always visible;
+		// so n == 0 implies canSucceed was the only branch.
+		s.failf(FailAPIMisuse, "CAS on %s with no outcome", loc.name)
+	}
+	choice := s.chooser.choose(n, 'c')
+
+	if canSucceed && choice == 0 {
+		// Success: behave exactly like doRMW writing desired.
+		t.tseq++
+		t.clock.Set(t.id, t.tseq)
+		s.applyReadSync(t, succOrd, last)
+		loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: lastIdx})
+		sync := s.releaseClockFor(t, succOrd, last.sync)
+		act := s.record(t, memmodel.KindAtomicRMW, succOrd, loc, desired)
+		act.RF = last.act
+		moIdx := len(loc.stores)
+		act.MOIndex = moIdx
+		loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
+		loc.lastStoreByThread[t.id] = moIdx
+		s.assignSC(act, succOrd)
+		if act.SCIndex >= 0 {
+			loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
+		}
+		s.storeEpoch++
+		s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: succOrd.IsSeqCst()})
+		return expected, true
+	}
+	if canSucceed {
+		choice--
+	}
+	idx := failIdxs[choice]
+	st := loc.stores[idx]
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	s.applyReadSync(t, failOrd, st)
+	act := s.record(t, memmodel.KindAtomicLoad, failOrd, loc, st.act.Value)
+	act.RF = st.act
+	s.assignSC(act, failOrd)
+	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
+	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
+	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: failOrd.IsSeqCst()})
+	return st.act.Value, false
+}
+
+// doFence implements a stand-alone fence.
+func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
+	s.bumpStep()
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	if ord.IsAcquire() {
+		t.clock.Merge(t.acqPending)
+	}
+	if ord.IsRelease() {
+		t.relFence = t.clock.Clone()
+	}
+	act := s.record(t, memmodel.KindFence, ord, nil, 0)
+	s.assignSC(act, ord)
+	s.sleep.wake(pendSig{class: sigFence, loc: -1, sc: ord.IsSeqCst()})
+	if act.SCIndex >= 0 {
+		t.lastSCFence = act.SCIndex
+		// An SC load (or a load after an SC fence) that follows this
+		// fence in S must not read anything older than the last store
+		// each thread issued before the fence — but only stores by
+		// *this* thread are sequenced before it, so only they
+		// contribute floors.
+		for _, loc := range s.locs {
+			if !loc.atomic {
+				continue
+			}
+			if mo, ok := loc.lastStoreByThread[t.id]; ok {
+				loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: mo})
+			}
+		}
+	}
+}
+
+// doPlainLoad implements a non-atomic load with race detection. It does
+// not schedule: plain accesses run under the baton of the surrounding
+// visible operation, which keeps the state space small without losing
+// race detection (races are a property of happens-before, not of the
+// interleaving).
+func (s *System) doPlainLoad(t *Thread, loc *location) memmodel.Value {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "plain load")
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	if len(loc.stores) == 0 {
+		s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
+		s.failf(FailUninitLoad, "load of plain location %s before any store", loc.name)
+	}
+	// Race: any store by another thread not ordered with this load.
+	best := -1
+	for i, st := range loc.stores {
+		if t.clock.Contains(st.act.Thread, st.act.TSeq) {
+			best = i
+		} else if st.act.Thread != t.id {
+			s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
+			s.failf(FailDataRace, "data race on %s: T%d load races with T%d store (#%d)",
+				loc.name, t.id, st.act.Thread, st.act.ID)
+		}
+	}
+	if best < 0 {
+		s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
+		s.failf(FailUninitLoad, "load of plain location %s sees no ordered store", loc.name)
+	}
+	st := loc.stores[best]
+	act := s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, st.act.Value)
+	act.RF = st.act
+	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: best})
+	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: best})
+	return st.act.Value
+}
+
+// doPlainStore implements a non-atomic store with race detection.
+func (s *System) doPlainStore(t *Thread, loc *location, v memmodel.Value) {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "plain store")
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	for _, st := range loc.stores {
+		if st.act.Thread != t.id && !t.clock.Contains(st.act.Thread, st.act.TSeq) {
+			s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+			s.failf(FailDataRace, "data race on %s: T%d store races with T%d store (#%d)",
+				loc.name, t.id, st.act.Thread, st.act.ID)
+		}
+	}
+	for _, lr := range loc.loads {
+		if lr.tid != t.id && !t.clock.Contains(lr.tid, lr.tseq) {
+			s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+			s.failf(FailDataRace, "data race on %s: T%d store races with T%d load",
+				loc.name, t.id, lr.tid)
+		}
+	}
+	act := s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+	moIdx := len(loc.stores)
+	act.MOIndex = moIdx
+	loc.stores = append(loc.stores, storeRec{act: act})
+	loc.lastStoreByThread[t.id] = moIdx
+}

@@ -1,0 +1,266 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/memmodel"
+)
+
+// threadState is the scheduling state of a simulated thread.
+type threadState uint8
+
+const (
+	tsRunning  threadState = iota // holds the baton
+	tsParked                      // waiting at a schedule point, always runnable
+	tsYield                       // parked in a spin loop, runnable after a state change
+	tsLock                        // parked waiting for a mutex
+	tsJoin                        // parked waiting for a thread to finish
+	tsFinished                    // fn returned (or the run was aborted)
+)
+
+// abortRun is the sentinel panic value used to unwind a simulated thread
+// when the current execution is abandoned.
+type abortRun struct{}
+
+// Thread is the execution context handed to simulated-thread functions.
+// All simulated memory operations take the Thread as their first argument;
+// each such operation is a scheduling point where the checker may switch
+// to another thread or branch the exploration.
+type Thread struct {
+	sys  *System
+	id   int
+	name string
+
+	// clock is the thread's current happens-before clock (always
+	// includes all of the thread's own actions).
+	clock *memmodel.ClockVector
+	// tseq is the per-thread action counter.
+	tseq uint32
+
+	// relFence is the clock at the last release fence, nil if none.
+	relFence *memmodel.ClockVector
+	// acqPending accumulates the release clocks of stores read by
+	// relaxed loads; an acquire fence merges it into clock.
+	acqPending *memmodel.ClockVector
+	// lastSCFence is the SC index of the thread's last seq_cst fence,
+	// or -1.
+	lastSCFence int
+
+	// lastAction is the most recent action the thread performed
+	// (used by the spec layer's ordering-point annotations).
+	lastAction *memmodel.Action
+
+	// yieldEpoch is the store epoch observed at the last Yield.
+	yieldEpoch uint64
+	// lastResortEpoch is the store epoch at which the scheduler last
+	// woke this thread as a last resort (^uint64(0) = never).
+	lastResortEpoch uint64
+
+	state       threadState
+	waitMutex   *Mutex
+	waitThread  *Thread
+	finishClock *memmodel.ClockVector
+	// skipNextPark elides the park of the next visible operation; set
+	// after the start-of-thread grant so that starting a thread and its
+	// first operation consume a single scheduling step (a sound
+	// reduction: thread start has no visible effect).
+	skipNextPark bool
+	// pendSig describes the visible operation the thread is parked on,
+	// for the sleep-set dependency check.
+	pendSig pendSig
+	// recentReads records the loads since the thread last woke from a
+	// yield. When exploration gets stuck, a yielded thread whose recent
+	// reads have unconsumed newer stores marks the execution as unfair
+	// (pruned); otherwise the stuck state is a genuine livelock.
+	recentReads []readRef
+
+	fn     func(*Thread)
+	resume chan struct{}
+	parked chan struct{}
+}
+
+// ID returns the thread id (0 for the root thread).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Sys returns the system the thread runs under; the spec layer uses it to
+// reach shared per-execution state.
+func (t *Thread) Sys() *System { return t.sys }
+
+// LastAction returns the most recent action the thread performed, or nil.
+// The spec layer uses it to resolve ordering-point annotations ("the
+// atomic operation that immediately precedes the annotation").
+func (t *Thread) LastAction() *memmodel.Action { return t.lastAction }
+
+// Clock returns a copy of the thread's current happens-before clock.
+func (t *Thread) Clock() *memmodel.ClockVector { return t.clock.Clone() }
+
+// park hands the baton back to the scheduler and blocks until granted
+// again. The caller must have set t.state (and any wait fields) first.
+func (t *Thread) park() {
+	t.parked <- struct{}{}
+	<-t.resume
+	if t.sys.aborted {
+		panic(abortRun{})
+	}
+	t.state = tsRunning
+}
+
+// schedulePoint parks the thread as plainly runnable, announcing the
+// operation it is about to perform. Every visible operation calls it
+// before executing.
+func (t *Thread) schedulePoint(sig pendSig) {
+	t.pendSig = sig
+	if t.skipNextPark {
+		t.skipNextPark = false
+		return
+	}
+	t.state = tsParked
+	t.park()
+}
+
+// Spawn creates and starts a child thread running fn. The child inherits
+// the parent's happens-before clock (thread creation synchronizes).
+// Spawn returns immediately; use Join to wait for the child.
+//
+// Spawn is not a scheduling point: the child cannot run before the
+// spawner's next park anyway, so parking here would only inflate the
+// state space.
+func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
+	t.sys.stepCount++
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	t.sys.record(t, memmodel.KindThreadCreate, memmodel.Relaxed, nil, 0)
+	child := t.sys.newThread(name, fn, t.clock.Clone())
+	return child
+}
+
+// Join blocks until child has finished and merges its final clock
+// (thread join synchronizes).
+func (t *Thread) Join(child *Thread) {
+	if t.skipNextPark && child.state == tsFinished {
+		t.skipNextPark = false
+	} else {
+		t.skipNextPark = false
+		t.pendSig = pendSig{class: sigNone, loc: -1}
+		t.state = tsJoin
+		t.waitThread = child
+		t.park()
+		t.waitThread = nil
+	}
+	t.sys.stepCount++
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	t.clock.Merge(child.finishClock)
+	t.sys.record(t, memmodel.KindThreadJoin, memmodel.Relaxed, nil, 0)
+}
+
+// Yield parks the thread until some other thread changes shared state
+// (performs a store or an unlock). Spin loops must call it after an
+// unsuccessful iteration; the checker uses it both for fairness and to
+// keep the execution space finite (CDSChecker relies on the same idiom).
+func (t *Thread) Yield() {
+	t.sys.stepCount++
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	t.sys.record(t, memmodel.KindYield, memmodel.Relaxed, nil, 0)
+	t.yieldEpoch = t.sys.storeEpoch
+	t.pendSig = pendSig{class: sigYield, loc: -1}
+	t.state = tsYield
+	t.park()
+	// A new spin iteration begins: forget the reads that led here, and
+	// fold the wake-up into the next operation's scheduling step (the
+	// wake-up itself performs nothing visible).
+	t.recentReads = t.recentReads[:0]
+	t.skipNextPark = true
+}
+
+// Assert reports a failure of kind FailAssertion when cond is false.
+// The current execution is abandoned.
+func (t *Thread) Assert(cond bool, format string, args ...any) {
+	if !cond {
+		t.sys.failf(FailAssertion, format, args...)
+	}
+}
+
+// NewAtomic creates a fresh atomic location with no initial value;
+// loading it before any store is an uninitialized-load error (a
+// CDSChecker built-in check).
+func (t *Thread) NewAtomic(name string) *Atomic {
+	return t.sys.newAtomic(name)
+}
+
+// NewAtomicInit creates an atomic location and initializes it with a
+// relaxed store by the calling thread, the moral equivalent of C++'s
+// atomic_init in a constructor: visibility to other threads is inherited
+// from the happens-before edges the program establishes (e.g. Spawn).
+func (t *Thread) NewAtomicInit(name string, v memmodel.Value) *Atomic {
+	a := t.sys.newAtomic(name)
+	a.Store(t, memmodel.Relaxed, v)
+	return a
+}
+
+// NewPlain creates a fresh non-atomic location (race-detected).
+func (t *Thread) NewPlain(name string) *Plain {
+	return t.sys.newPlain(name)
+}
+
+// NewPlainInit creates a non-atomic location initialized by the calling
+// thread.
+func (t *Thread) NewPlainInit(name string, v memmodel.Value) *Plain {
+	p := t.sys.newPlain(name)
+	p.Store(t, v)
+	return p
+}
+
+// NewMutex creates a mutex.
+func (t *Thread) NewMutex(name string) *Mutex {
+	t.sys.mutexCount++
+	return &Mutex{sys: t.sys, id: t.sys.mutexCount, name: name, owner: -1}
+}
+
+// threadMain is the goroutine body of a simulated thread.
+func (t *Thread) threadMain() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortRun); !ok {
+				// A real panic in user code: surface it on the
+				// scheduler side rather than crashing the process
+				// with a half-useful goroutine dump.
+				t.sys.failure = &Failure{
+					Kind: FailAssertion,
+					Msg:  fmt.Sprintf("panic in thread %d (%s): %v", t.id, t.name, r),
+				}
+				t.sys.aborted = true
+			}
+		}
+		t.finishClock = t.clock.Clone()
+		t.state = tsFinished
+		t.parked <- struct{}{}
+	}()
+
+	// Park immediately: the spawner keeps the baton until the scheduler
+	// picks this thread.
+	t.state = tsParked
+	t.parked <- struct{}{}
+	<-t.resume
+	if t.sys.aborted {
+		panic(abortRun{})
+	}
+	t.state = tsRunning
+
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	t.sys.record(t, memmodel.KindThreadStart, memmodel.Relaxed, nil, 0)
+
+	// The start grant also covers the thread's first visible operation.
+	t.skipNextPark = true
+	t.fn(t)
+	t.skipNextPark = false
+
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	t.sys.record(t, memmodel.KindThreadFinish, memmodel.Relaxed, nil, 0)
+}

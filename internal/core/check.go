@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/checker"
+)
+
+// orderRelation is the ordering relation ~r~ over an execution's method
+// calls, as a reachability matrix (closed under transitivity).
+type orderRelation struct {
+	calls []*Call
+	// reach[i][j] reports calls[i] ~r~ calls[j].
+	reach [][]bool
+}
+
+// buildOrder extracts ~r~ from the happens-before and seq_cst ordering of
+// the calls' ordering points (paper §5.2): for ordering points X of A and
+// Y of B, X →hb Y or X →sc Y implies A ~r~ B. The relation is then closed
+// transitively.
+func buildOrder(calls []*Call) *orderRelation {
+	n := len(calls)
+	r := &orderRelation{calls: calls, reach: make([][]bool, n)}
+	for i := range r.reach {
+		r.reach[i] = make([]bool, n)
+	}
+	for i, a := range calls {
+		for j, b := range calls {
+			if i == j {
+				continue
+			}
+			if opsOrdered(a, b) {
+				r.reach[i][j] = true
+			}
+		}
+	}
+	// Transitive closure (n is small: unit tests have ≤ ~20 calls).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r.reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r.reach[k][j] {
+					r.reach[i][j] = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// opsOrdered reports whether some ordering point of a precedes some
+// ordering point of b under hb ∪ sc.
+func opsOrdered(a, b *Call) bool {
+	for _, x := range a.OPs {
+		for _, y := range b.OPs {
+			if x.HappensBefore(y) || x.SCBefore(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cyclic reports whether ~r~ is cyclic (possible only with multiple
+// ordering points per call; the paper guarantees acyclicity for one).
+func (r *orderRelation) cyclic() bool {
+	for i := range r.calls {
+		if r.reach[i][i] {
+			return true
+		}
+	}
+	return false
+}
+
+// ordered reports a ~r~ b for call values.
+func (r *orderRelation) ordered(a, b *Call) bool { return r.reach[a.ID][b.ID] }
+
+// concurrent returns the calls not ordered either way with c — the
+// concurrent(m) set of paper §2.2.
+func (r *orderRelation) concurrent(c *Call) []*Call {
+	var out []*Call
+	for _, o := range r.calls {
+		if o == c {
+			continue
+		}
+		if !r.ordered(c, o) && !r.ordered(o, c) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// predecessors returns the calls ordered before c — the membership of
+// every justifying subhistory of c (Definition 3).
+func (r *orderRelation) predecessors(c *Call) []*Call {
+	var out []*Call
+	for _, o := range r.calls {
+		if o != c && r.ordered(o, c) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// topoSorts enumerates the topological sorts of nodes under edge,
+// invoking emit for each; emit returns false to stop. limit caps the
+// number of sorts generated. It reports whether enumeration ran to
+// completion (neither stopped nor truncated).
+func topoSorts(nodes []*Call, edge func(a, b *Call) bool, limit int, emit func([]*Call) bool) bool {
+	n := len(nodes)
+	indeg := make([]int, n)
+	for i := range nodes {
+		for j, b := range nodes {
+			if i != j && edge(nodes[i], b) {
+				indeg[j]++
+			}
+		}
+	}
+	order := make([]*Call, 0, n)
+	used := make([]bool, n)
+	count := 0
+	complete := true
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == n {
+			count++
+			if !emit(append([]*Call(nil), order...)) {
+				complete = false
+				return false
+			}
+			if count >= limit {
+				complete = false
+				return false
+			}
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] || indeg[i] != 0 {
+				continue
+			}
+			used[i] = true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && edge(nodes[i], nodes[j]) {
+					indeg[j]--
+				}
+			}
+			order = append(order, nodes[i])
+			ok := rec()
+			order = order[:len(order)-1]
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && edge(nodes[i], nodes[j]) {
+					indeg[j]++
+				}
+			}
+			used[i] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+	return complete
+}
+
+// randomTopoSort draws one uniform-ish linear extension of the calls
+// under edge by repeatedly picking a random ready node.
+func randomTopoSort(nodes []*Call, edge func(a, b *Call) bool, rng *rand.Rand) []*Call {
+	n := len(nodes)
+	indeg := make([]int, n)
+	for i := range nodes {
+		for j := range nodes {
+			if i != j && edge(nodes[i], nodes[j]) {
+				indeg[j]++
+			}
+		}
+	}
+	used := make([]bool, n)
+	out := make([]*Call, 0, n)
+	for len(out) < n {
+		var ready []int
+		for i := 0; i < n; i++ {
+			if !used[i] && indeg[i] == 0 {
+				ready = append(ready, i)
+			}
+		}
+		pick := ready[rng.Intn(len(ready))]
+		used[pick] = true
+		out = append(out, nodes[pick])
+		for j := 0; j < n; j++ {
+			if j != pick && !used[j] && edge(nodes[pick], nodes[j]) {
+				indeg[j]--
+			}
+		}
+	}
+	return out
+}
+
+// CheckResult is the outcome of checking one execution against the spec.
+type CheckResult struct {
+	// Failures lists everything found; empty means the execution is
+	// admissible and non-deterministic linearizable.
+	Failures []*checker.Failure
+	// Histories is the number of sequential histories checked.
+	Histories int
+	// Admissible reports whether the execution passed Definition 1.
+	Admissible bool
+}
+
+// Check verifies the recorded execution against the spec and returns any
+// failures. It implements the checking pipeline of paper §5.2.
+func (m *Monitor) Check() *CheckResult {
+	res := &CheckResult{Admissible: true}
+	if m == nil || m.spec == nil {
+		return res
+	}
+	calls := m.calls
+	for _, c := range calls {
+		if !c.ended {
+			res.Failures = append(res.Failures, specFail(
+				"method call %s began but never ended (missing End instrumentation)", c))
+			return res
+		}
+		if m.spec.Methods[c.Name] == nil {
+			res.Failures = append(res.Failures, specFail(
+				"no method spec for %q", c.Name))
+			return res
+		}
+	}
+	r := buildOrder(calls)
+	if r.cyclic() {
+		res.Failures = append(res.Failures, specFail(
+			"ordering points induce a cyclic ~r~ relation; check OP annotations"))
+		return res
+	}
+
+	// Admissibility (Definition 1). An inadmissible execution is a
+	// warning: the spec's correctness properties are not checked for it.
+	for _, rule := range m.spec.Admissibility {
+		for _, a := range calls {
+			if a.Name != rule.M1 {
+				continue
+			}
+			for _, b := range calls {
+				if b == a || b.Name != rule.M2 {
+					continue
+				}
+				if rule.M1 == rule.M2 && a.ID > b.ID {
+					continue // visit unordered same-name pairs once
+				}
+				if r.ordered(a, b) || r.ordered(b, a) {
+					continue
+				}
+				if rule.MustOrder(a, b) {
+					res.Admissible = false
+					res.Failures = append(res.Failures, &checker.Failure{
+						Kind: checker.FailAdmissibility,
+						Msg: fmt.Sprintf("inadmissible execution: %s and %s must be ordered (@Admit %s<->%s)",
+							a, b, rule.M1, rule.M2),
+					})
+					return res
+				}
+			}
+		}
+	}
+
+	// Valid sequential histories (Definition 2) — check them all
+	// (Definition 6) up to the configured cap, or a random sample when
+	// the spec opts into sampling (§5.2).
+	edge := func(a, b *Call) bool { return r.ordered(a, b) }
+	var histFail *checker.Failure
+	if n := m.spec.SampleHistories; n > 0 {
+		rng := rand.New(rand.NewSource(m.spec.SampleSeed + int64(len(calls))))
+		for i := 0; i < n && histFail == nil; i++ {
+			h := randomTopoSort(calls, edge, rng)
+			res.Histories++
+			histFail = m.runHistory(h)
+		}
+	} else {
+		topoSorts(calls, edge, m.spec.historyCap(), func(h []*Call) bool {
+			res.Histories++
+			if f := m.runHistory(h); f != nil {
+				histFail = f
+				return false
+			}
+			return true
+		})
+	}
+	if histFail != nil {
+		res.Failures = append(res.Failures, histFail)
+		return res
+	}
+
+	// Justified behaviors (Definitions 3–4).
+	for _, c := range calls {
+		md := m.spec.Methods[c.Name]
+		if md.NeedsJustify == nil || !md.NeedsJustify(c) {
+			continue
+		}
+		if f := m.justify(r, c, md); f != nil {
+			res.Failures = append(res.Failures, f)
+			return res
+		}
+	}
+	return res
+}
+
+// runHistory replays the equivalent sequential data structure over a
+// sequential history, checking pre/side-effect/post per call.
+func (m *Monitor) runHistory(h []*Call) *checker.Failure {
+	st := m.spec.NewState()
+	for _, c := range h {
+		md := m.spec.Methods[c.Name]
+		if md.Pre != nil && !md.Pre(st, c) {
+			return specFail("precondition of %s failed in history: %s", c, formatHistory(h))
+		}
+		if md.SideEffect != nil {
+			md.SideEffect(st, c)
+		}
+		if md.Post != nil && !md.Post(st, c) {
+			return specFail("postcondition of %s failed in history: %s", c, formatHistory(h))
+		}
+	}
+	return nil
+}
+
+// justify checks Definition 4 for call c: some justifying subhistory (or
+// the concurrent set) must enable the non-deterministic behavior.
+func (m *Monitor) justify(r *orderRelation, c *Call, md *MethodSpec) *checker.Failure {
+	conc := r.concurrent(c)
+	preds := r.predecessors(c)
+	edge := func(a, b *Call) bool { return r.ordered(a, b) }
+	justified := false
+	topoSorts(preds, edge, m.spec.subhistoryCap(), func(j []*Call) bool {
+		// Execute the subhistory's predecessors, then m itself: the
+		// justifying precondition holds before m and the justifying
+		// postcondition after it (paper §4.3).
+		st := m.spec.NewState()
+		for _, p := range j {
+			pmd := m.spec.Methods[p.Name]
+			if pmd.SideEffect != nil {
+				pmd.SideEffect(st, p)
+			}
+		}
+		if md.JustifyPre != nil && !md.JustifyPre(st, c, conc) {
+			return true // try the next subhistory
+		}
+		if md.SideEffect != nil {
+			md.SideEffect(st, c)
+		}
+		if md.JustifyPost == nil || md.JustifyPost(st, c, conc) {
+			justified = true
+			return false
+		}
+		return true
+	})
+	if !justified && md.JustifyConcurrent != nil && md.JustifyConcurrent(c, conc) {
+		justified = true
+	}
+	if !justified {
+		return specFail("unjustified non-deterministic behavior of %s: no justifying subhistory or concurrent call enables it (predecessors: %s)",
+			c, formatHistory(preds))
+	}
+	return nil
+}
+
+func specFail(format string, args ...any) *checker.Failure {
+	return &checker.Failure{
+		Kind: checker.FailAssertion,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Explore runs the model checker over prog with the spec checked after
+// every feasible execution — the whole CDSSpec pipeline in one call.
+func Explore(spec *Spec, cfg checker.Config, prog func(*checker.Thread)) *checker.Result {
+	userStart := cfg.OnRunStart
+	cfg.OnRunStart = func(sys *checker.System) {
+		Install(sys, spec)
+		if userStart != nil {
+			userStart(sys)
+		}
+	}
+	userExec := cfg.OnExecution
+	cfg.OnExecution = func(sys *checker.System) []*checker.Failure {
+		var fails []*checker.Failure
+		if mon := FromSys(sys); mon != nil {
+			fails = mon.Check().Failures
+		}
+		if userExec != nil {
+			fails = append(fails, userExec(sys)...)
+		}
+		return fails
+	}
+	return checker.Explore(cfg, prog)
+}

@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// composedState is the state of a composed specification: one sub-state
+// per component spec, keyed by spec name.
+type composedState map[string]State
+
+// Compose builds the composition S_A ⊗ S_B ⊗ ... of Definition 8: each
+// component's sequential data structure applies to its own methods, and
+// pairs of calls on different components are never required to be ordered
+// (admissibility case 3).
+//
+// Method names must be disjoint across components; give instances
+// distinct prefixes (e.g. "x.enq", "y.enq") when composing two objects of
+// the same type. Compose panics on a name collision — that is a test
+// authoring error, not a runtime condition.
+func Compose(specs ...*Spec) *Spec {
+	out := &Spec{
+		Name:    "compose",
+		Methods: map[string]*MethodSpec{},
+	}
+	maxHist, maxSub := 0, 0
+	for _, s := range specs {
+		out.Name += "+" + s.Name
+		if s.MaxHistories != 0 {
+			maxHist = s.MaxHistories
+		}
+		if s.MaxSubhistories != 0 {
+			maxSub = s.MaxSubhistories
+		}
+		for name, md := range s.Methods {
+			if _, dup := out.Methods[name]; dup {
+				panic(fmt.Sprintf("core.Compose: duplicate method name %q", name))
+			}
+			out.Methods[name] = wrapMethod(s.Name, md)
+		}
+		out.Admissibility = append(out.Admissibility, s.Admissibility...)
+	}
+	out.MaxHistories = maxHist
+	out.MaxSubhistories = maxSub
+	specsCopy := append([]*Spec(nil), specs...)
+	out.NewState = func() State {
+		st := composedState{}
+		for _, s := range specsCopy {
+			st[s.Name] = s.NewState()
+		}
+		return st
+	}
+	return out
+}
+
+// wrapMethod rebinds a method spec to extract its component's sub-state
+// from the composed state.
+func wrapMethod(specName string, md *MethodSpec) *MethodSpec {
+	sub := func(st State) State { return st.(composedState)[specName] }
+	out := &MethodSpec{
+		NeedsJustify:      md.NeedsJustify,
+		JustifyConcurrent: md.JustifyConcurrent,
+	}
+	if md.SideEffect != nil {
+		f := md.SideEffect
+		out.SideEffect = func(st State, c *Call) { f(sub(st), c) }
+	}
+	if md.Pre != nil {
+		f := md.Pre
+		out.Pre = func(st State, c *Call) bool { return f(sub(st), c) }
+	}
+	if md.Post != nil {
+		f := md.Post
+		out.Post = func(st State, c *Call) bool { return f(sub(st), c) }
+	}
+	if md.JustifyPre != nil {
+		f := md.JustifyPre
+		out.JustifyPre = func(st State, c *Call, conc []*Call) bool { return f(sub(st), c, conc) }
+	}
+	if md.JustifyPost != nil {
+		f := md.JustifyPost
+		out.JustifyPost = func(st State, c *Call, conc []*Call) bool { return f(sub(st), c, conc) }
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"repro/internal/checker"
+	"repro/internal/memmodel"
+)
+
+// Monitor records the method calls of one execution and checks them
+// against a Spec when the execution completes. One Monitor is installed
+// per execution via Install (typically from Config.OnRunStart).
+type Monitor struct {
+	spec  *Spec
+	calls []*Call
+	// active tracks the outermost open call per thread: when an API
+	// method calls another API method, only the outermost counts
+	// (paper §4.3, "Nested API Method Call").
+	active map[int]*Call
+	depth  map[int]int
+}
+
+// Install creates a Monitor for spec and hangs it off the system so the
+// instrumented data-structure code can find it.
+func Install(sys *checker.System, spec *Spec) *Monitor {
+	m := &Monitor{spec: spec, active: map[int]*Call{}, depth: map[int]int{}}
+	sys.Aux = m
+	return m
+}
+
+// Of returns the Monitor installed on the thread's system, or nil.
+func Of(t *checker.Thread) *Monitor {
+	m, _ := t.Sys().Aux.(*Monitor)
+	return m
+}
+
+// FromSys returns the Monitor installed on sys, or nil.
+func FromSys(sys *checker.System) *Monitor {
+	m, _ := sys.Aux.(*Monitor)
+	return m
+}
+
+// Calls returns the method calls recorded so far.
+func (m *Monitor) Calls() []*Call { return m.calls }
+
+// CallCtx is the instrumentation handle for one method call, carrying the
+// ordering-point annotations of the specification language. For nested
+// API calls the context is inert (the outermost call owns the record).
+type CallCtx struct {
+	m    *Monitor
+	call *Call // nil when nested (inert)
+	tid  int
+}
+
+// Begin opens an API method call (the method-begin annotation action).
+// It must be paired with End/EndVoid on every return path.
+func (m *Monitor) Begin(t *checker.Thread, name string, args ...memmodel.Value) *CallCtx {
+	if m == nil {
+		return nil
+	}
+	tid := t.ID()
+	m.depth[tid]++
+	if m.depth[tid] > 1 {
+		return &CallCtx{m: m, tid: tid} // nested: inert
+	}
+	c := &Call{ID: len(m.calls), Thread: tid, Name: name, Args: args}
+	m.calls = append(m.calls, c)
+	m.active[tid] = c
+	return &CallCtx{m: m, call: c, tid: tid}
+}
+
+// End closes the call with a return value (C_RET).
+func (x *CallCtx) End(t *checker.Thread, ret memmodel.Value) {
+	if x == nil {
+		return
+	}
+	x.m.depth[x.tid]--
+	if x.call != nil {
+		x.call.Ret = ret
+		x.call.HasRet = true
+		x.call.ended = true
+		delete(x.m.active, x.tid)
+	}
+}
+
+// EndVoid closes a void call.
+func (x *CallCtx) EndVoid(t *checker.Thread) {
+	if x == nil {
+		return
+	}
+	x.m.depth[x.tid]--
+	if x.call != nil {
+		x.call.ended = true
+		delete(x.m.active, x.tid)
+	}
+}
+
+// SetAux stores a named scratch value on the underlying call (no-op for
+// nested calls). Structures use it to expose extra observed values to the
+// specification.
+func (x *CallCtx) SetAux(key string, v memmodel.Value) {
+	if x == nil || x.call == nil {
+		return
+	}
+	x.call.SetAux(key, v)
+}
+
+// OPDefine marks the thread's immediately preceding atomic operation as an
+// ordering point when cond holds (@OPDefine).
+func (x *CallCtx) OPDefine(t *checker.Thread, cond bool) {
+	if x == nil || x.call == nil || !cond {
+		return
+	}
+	if a := t.LastAction(); a != nil {
+		x.call.OPs = append(x.call.OPs, a)
+	}
+}
+
+// OPClear removes all ordering points observed so far in this call when
+// cond holds (@OPClear).
+func (x *CallCtx) OPClear(t *checker.Thread, cond bool) {
+	if x == nil || x.call == nil || !cond {
+		return
+	}
+	x.call.OPs = x.call.OPs[:0]
+	x.call.potentials = x.call.potentials[:0]
+}
+
+// OPClearDefine is OPClear followed by OPDefine (@OPClearDefine), the
+// idiom for "the operation from the last loop iteration is the ordering
+// point".
+func (x *CallCtx) OPClearDefine(t *checker.Thread, cond bool) {
+	if x == nil || x.call == nil || !cond {
+		return
+	}
+	x.OPClear(t, true)
+	x.OPDefine(t, true)
+}
+
+// PotentialOP labels the preceding atomic operation as a potential
+// ordering point (@PotentialOP(label)); a later OPCheck with the same
+// label promotes it.
+func (x *CallCtx) PotentialOP(t *checker.Thread, label string, cond bool) {
+	if x == nil || x.call == nil || !cond {
+		return
+	}
+	if a := t.LastAction(); a != nil {
+		x.call.potentials = append(x.call.potentials, potentialOP{label: label, act: a})
+	}
+}
+
+// OPCheck promotes all potential ordering points with the given label to
+// real ordering points when cond holds (@OPCheck(label)).
+func (x *CallCtx) OPCheck(t *checker.Thread, label string, cond bool) {
+	if x == nil || x.call == nil || !cond {
+		return
+	}
+	kept := x.call.potentials[:0]
+	for _, p := range x.call.potentials {
+		if p.label == label {
+			x.call.OPs = append(x.call.OPs, p.act)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	x.call.potentials = kept
+}

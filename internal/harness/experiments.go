@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/structures/chaselev"
+	"repro/internal/structures/msqueue"
+)
+
+// KnownBugResult is one §6.4.1 known-bug reproduction.
+type KnownBugResult struct {
+	Name     string
+	Detected bool
+	Channel  string
+	Detail   string
+}
+
+// RunKnownBugs reproduces §6.4.1: the two AUTO MO bugs in the M&S queue
+// and the CDSChecker bug in the Chase-Lev deque (in both its
+// uninitialized-load and specification-violation guises).
+func RunKnownBugs() []KnownBugResult {
+	var out []KnownBugResult
+	report := func(name string, res *checker.Result) {
+		r := KnownBugResult{Name: name}
+		if f := res.FirstFailure(); f != nil {
+			r.Detected = true
+			r.Channel = f.Kind.String()
+			r.Detail = f.Msg
+		}
+		out = append(out, r)
+	}
+
+	ms := msqueueBenchmark()
+	resEnq := core.Explore(ms.Spec(), checker.Config{StopAtFirst: true},
+		ms.Progs(msqueue.KnownBugEnqueue())[0])
+	report("M&S queue: enqueue publication too weak (AutoMO bug 1)", resEnq)
+	resDeq := core.Explore(ms.Spec(), checker.Config{StopAtFirst: true},
+		ms.Progs(msqueue.KnownBugDequeue())[0])
+	report("M&S queue: dequeue head load too weak (AutoMO bug 2)", resDeq)
+
+	cl := chaselevBenchmark()
+	resCl := core.Explore(cl.Spec(), checker.Config{StopAtFirst: true},
+		cl.Progs(chaselev.KnownBugOrders())[1])
+	report("Chase-Lev deque: weak resize publication (uninit load)", resCl)
+
+	specProg := func(root *checker.Thread) {
+		d := chaselev.New(root, "d", chaselev.KnownBugOrders(), 2, chaselev.WithInitializedCells())
+		owner := root.Spawn("owner", func(tt *checker.Thread) {
+			d.Push(tt, 1)
+			d.Push(tt, 2)
+			d.Push(tt, 3)
+			d.Take(tt)
+			d.Take(tt)
+		})
+		thief := root.Spawn("thief", func(tt *checker.Thread) {
+			d.Steal(tt)
+			d.Steal(tt)
+		})
+		root.Join(owner)
+		root.Join(thief)
+	}
+	resCl2 := core.Explore(chaselev.Spec("d"),
+		checker.Config{StopAtFirst: true, DisableLifetimeCheck: true}, specProg)
+	report("Chase-Lev deque: same bug with uninit report silenced (spec violation)", resCl2)
+	return out
+}
+
+// FormatKnownBugs renders the §6.4.1 results.
+func FormatKnownBugs(rs []KnownBugResult) string {
+	var b strings.Builder
+	for _, r := range rs {
+		status := "NOT DETECTED"
+		if r.Detected {
+			status = "detected via " + r.Channel
+		}
+		fmt.Fprintf(&b, "%-72s %s\n", r.Name, status)
+	}
+	return b.String()
+}
+
+// OverlyStrongResult is the §6.4.3 experiment outcome.
+type OverlyStrongResult struct {
+	Executions int
+	Feasible   int
+	Violations int
+}
+
+// RunOverlyStrong reproduces §6.4.3: relaxing the take-side seq_cst CAS
+// on the Chase-Lev deque's top and exhaustively exploring — zero
+// violations means the parameter was overly strong.
+func RunOverlyStrong() OverlyStrongResult {
+	cl := chaselevBenchmark()
+	var r OverlyStrongResult
+	for _, prog := range cl.Progs(chaselev.OverlyStrongOrders()) {
+		res := core.Explore(cl.Spec(), checker.Config{}, prog)
+		r.Executions += res.Executions
+		r.Feasible += res.Feasible
+		r.Violations += res.FailureCount
+	}
+	return r
+}
+
+// SpecStat describes one benchmark's specification size (§6.2).
+type SpecStat struct {
+	Name          string
+	Methods       int
+	OrderingNotes int // ordering-point annotations in the implementation
+	AdmitRules    int
+	NDMethods     int // methods with non-deterministic (justified) behavior
+}
+
+// RunSpecStats computes the §6.2 ease-of-use statistics over our specs.
+// The paper reports 27 API methods, 33 ordering points (1.22/method), and
+// 7 admissibility-rule lines.
+func RunSpecStats() []SpecStat {
+	var out []SpecStat
+	for _, b := range Benchmarks() {
+		s := b.Spec()
+		st := SpecStat{Name: b.Name, Methods: len(s.Methods), AdmitRules: len(s.Admissibility)}
+		for _, m := range s.Methods {
+			if m.NeedsJustify != nil {
+				st.NDMethods++
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// FormatSpecStats renders the §6.2 table.
+func FormatSpecStats(stats []SpecStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %12s %10s\n", "Benchmark", "Methods", "AdmitRules", "NDMethods")
+	tm, ta, tn := 0, 0, 0
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-18s %8d %12d %10d\n", s.Name, s.Methods, s.AdmitRules, s.NDMethods)
+		tm += s.Methods
+		ta += s.AdmitRules
+		tn += s.NDMethods
+	}
+	fmt.Fprintf(&b, "%-18s %8d %12d %10d   (paper: 27 methods, 7 admissibility lines)\n", "Total", tm, ta, tn)
+	return b.String()
+}

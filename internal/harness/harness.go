@@ -1,0 +1,173 @@
+// Package harness drives the paper's evaluation (§6): Figure 7 (benchmark
+// exploration statistics), Figure 8 (bug-injection detection), the known
+// bugs of §6.4.1, the overly strong parameter of §6.4.3, and the
+// ease-of-use statistics of §6.2. Each experiment is reproducible from
+// the cdsspec CLI and from the repository-root benchmarks.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+)
+
+// Benchmark bundles one paper benchmark: its spec, parameterized orders,
+// unit tests, and the numbers the paper reports for it.
+type Benchmark struct {
+	// Name matches the Figure 7 row.
+	Name string
+	// Spec builds the CDSSpec specification.
+	Spec func() *core.Spec
+	// Orders returns the correct memory-order table.
+	Orders func() *memmodel.OrderTable
+	// Progs returns the unit tests for the given orders; Progs()[0] is
+	// the primary workload used for Figure 7.
+	Progs func(ord *memmodel.OrderTable) []func(*checker.Thread)
+	// UndetectableSites lists sites whose one-step weakening is known to
+	// be unobservable — either an overly strong parameter (the paper's
+	// §6.4.3 phenomenon) or a modification-order anomaly our model
+	// excludes (DESIGN.md limitation 2).
+	UndetectableSites map[string]bool
+
+	// Paper numbers (Figures 7 and 8).
+	PaperExecutions, PaperFeasible     int
+	PaperTime                          string
+	PaperInjections, PaperBuiltin      int
+	PaperAdmissibility, PaperAssertion int
+	PaperRatePercent                   int
+}
+
+// Fig7Row is one measured row of Figure 7.
+type Fig7Row struct {
+	Name                 string
+	Executions, Feasible int
+	Elapsed              time.Duration
+	PaperExecutions      int
+	PaperFeasible        int
+	PaperTime            string
+}
+
+// RunFig7 explores the primary unit test exhaustively and returns the
+// measured row.
+func (b *Benchmark) RunFig7() Fig7Row {
+	res := core.Explore(b.Spec(), checker.Config{}, b.Progs(b.Orders())[0])
+	return Fig7Row{
+		Name:            b.Name,
+		Executions:      res.Executions,
+		Feasible:        res.Feasible,
+		Elapsed:         res.Elapsed,
+		PaperExecutions: b.PaperExecutions,
+		PaperFeasible:   b.PaperFeasible,
+		PaperTime:       b.PaperTime,
+	}
+}
+
+// Fig8Row is one measured row of Figure 8.
+type Fig8Row struct {
+	Name                               string
+	Injections                         int
+	Builtin, Admissibility, Assertion  int
+	Detected                           int
+	Missed                             []string
+	PaperInjections, PaperBuiltin      int
+	PaperAdmissibility, PaperAssertion int
+	PaperRatePercent                   int
+}
+
+// RatePercent returns the measured detection rate.
+func (r Fig8Row) RatePercent() int {
+	if r.Injections == 0 {
+		return 100
+	}
+	return r.Detected * 100 / r.Injections
+}
+
+// RunFig8 runs the §6.4.2 injection experiment: every one-step weakening
+// of every exercised site, classified by the first detection channel in
+// the paper's priority order (built-in, then admissibility, then
+// assertion).
+func (b *Benchmark) RunFig8() Fig8Row {
+	row := Fig8Row{
+		Name:               b.Name,
+		PaperInjections:    b.PaperInjections,
+		PaperBuiltin:       b.PaperBuiltin,
+		PaperAdmissibility: b.PaperAdmissibility,
+		PaperAssertion:     b.PaperAssertion,
+		PaperRatePercent:   b.PaperRatePercent,
+	}
+	defaults := b.Orders()
+	for _, weak := range defaults.Weakenings() {
+		row.Injections++
+		var hit *checker.Failure
+		for _, prog := range b.Progs(weak) {
+			res := core.Explore(b.Spec(), checker.Config{StopAtFirst: true}, prog)
+			if f := res.FirstFailure(); f != nil {
+				hit = f
+				break
+			}
+		}
+		switch {
+		case hit == nil:
+			row.Missed = append(row.Missed, describeWeakening(defaults, weak))
+		case hit.Kind.BuiltIn():
+			row.Builtin++
+			row.Detected++
+		case hit.Kind == checker.FailAdmissibility:
+			row.Admissibility++
+			row.Detected++
+		default:
+			row.Assertion++
+			row.Detected++
+		}
+	}
+	return row
+}
+
+func describeWeakening(defaults, weak *memmodel.OrderTable) string {
+	for _, s := range defaults.Sites() {
+		if weak.Get(s.Name) != s.Default {
+			return fmt.Sprintf("%s: %s -> %s", s.Name, s.Default, weak.Get(s.Name))
+		}
+	}
+	return "?"
+}
+
+// FormatFig7 renders the Figure 7 table.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %10s %10s   %s\n", "Benchmark", "# Executions", "# Feasible", "Time", "(paper: exec/feasible/time)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %12d %10d %10s   (%d / %d / %ss)\n",
+			r.Name, r.Executions, r.Feasible, r.Elapsed.Round(time.Millisecond),
+			r.PaperExecutions, r.PaperFeasible, r.PaperTime)
+	}
+	return b.String()
+}
+
+// FormatFig8 renders the Figure 8 table.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %6s %9s %14s %11s %6s   %s\n",
+		"Benchmark", "# Inj", "# Builtin", "# Admissibility", "# Assertion", "Rate", "(paper: inj/bi/adm/asr/rate)")
+	ti, td := 0, 0
+	pi, pd := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %6d %9d %14d %11d %5d%%   (%d/%d/%d/%d/%d%%)\n",
+			r.Name, r.Injections, r.Builtin, r.Admissibility, r.Assertion, r.RatePercent(),
+			r.PaperInjections, r.PaperBuiltin, r.PaperAdmissibility, r.PaperAssertion, r.PaperRatePercent)
+		for _, m := range r.Missed {
+			fmt.Fprintf(&b, "%-18s   missed: %s\n", "", m)
+		}
+		ti += r.Injections
+		td += r.Detected
+		pi += r.PaperInjections
+		pd += r.PaperInjections * r.PaperRatePercent / 100
+	}
+	fmt.Fprintf(&b, "%-18s %6d  detected %d (%d%%)   paper: %d injections, %d detected (93%%)\n",
+		"Total", ti, td, td*100/max(ti, 1), pi, pd)
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig7AllBenchmarksClean: every benchmark's primary workload explores
+// exhaustively with zero failures and a nonzero feasible count — the
+// precondition for the Figure 7 numbers to mean anything.
+func TestFig7AllBenchmarksClean(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			row := b.RunFig7()
+			if row.Executions == 0 || row.Feasible == 0 {
+				t.Fatalf("%s explored nothing: %+v", b.Name, row)
+			}
+			t.Logf("%s: executions=%d feasible=%d elapsed=%v (paper %d/%d/%ss)",
+				b.Name, row.Executions, row.Feasible, row.Elapsed,
+				row.PaperExecutions, row.PaperFeasible, row.PaperTime)
+		})
+	}
+}
+
+// TestFig8DetectionRates: the measured detection must match the expected
+// shape — every site not in the benchmark's UndetectableSites list is
+// detected, and the overall rate stays high (paper: 93%).
+func TestFig8DetectionRates(t *testing.T) {
+	totalInj, totalDet := 0, 0
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			row := b.RunFig8()
+			totalInj += row.Injections
+			totalDet += row.Detected
+			t.Logf("%s: %d/%d detected (builtin %d, admissibility %d, assertion %d; paper %d@%d%%)",
+				b.Name, row.Detected, row.Injections,
+				row.Builtin, row.Admissibility, row.Assertion,
+				b.PaperInjections, b.PaperRatePercent)
+			for _, m := range row.Missed {
+				site := strings.SplitN(m, ":", 2)[0]
+				if !b.UndetectableSites[site] {
+					t.Errorf("%s: unexpected missed injection %q", b.Name, m)
+				}
+			}
+		})
+	}
+	if totalInj == 0 {
+		t.Fatal("no injections ran")
+	}
+	rate := totalDet * 100 / totalInj
+	t.Logf("overall: %d/%d detected (%d%%; paper 93%%)", totalDet, totalInj, rate)
+	if rate < 70 {
+		t.Errorf("overall detection rate %d%% too low (paper: 93%%)", rate)
+	}
+}
+
+// TestKnownBugsAllDetected: the three §6.4.1 bugs (in both Chase-Lev
+// guises) are detected.
+func TestKnownBugsAllDetected(t *testing.T) {
+	for _, r := range RunKnownBugs() {
+		if !r.Detected {
+			t.Errorf("known bug not detected: %s", r.Name)
+		} else {
+			t.Logf("%s: %s", r.Name, r.Channel)
+		}
+	}
+}
+
+// TestOverlyStrongCAS: the §6.4.3 relaxation produces zero violations
+// over an exhaustive exploration.
+func TestOverlyStrongCAS(t *testing.T) {
+	r := RunOverlyStrong()
+	if r.Violations != 0 {
+		t.Errorf("overly strong CAS relaxation flagged %d violations", r.Violations)
+	}
+	if r.Feasible == 0 {
+		t.Error("no feasible executions explored")
+	}
+	t.Logf("overly-strong experiment: %d executions, %d feasible, %d violations",
+		r.Executions, r.Feasible, r.Violations)
+}
+
+// TestSpecStats: the specification-size statistics are in the paper's
+// ballpark (27 methods across 10 benchmarks, a handful of admissibility
+// rules).
+func TestSpecStats(t *testing.T) {
+	stats := RunSpecStats()
+	if len(stats) != 10 {
+		t.Fatalf("expected 10 benchmarks, got %d", len(stats))
+	}
+	methods, rules := 0, 0
+	for _, s := range stats {
+		methods += s.Methods
+		rules += s.AdmitRules
+	}
+	if methods < 20 || methods > 40 {
+		t.Errorf("total methods = %d, expected ~27 (paper)", methods)
+	}
+	if rules == 0 {
+		t.Error("no admissibility rules found")
+	}
+	t.Logf("\n%s", FormatSpecStats(stats))
+}
+
+// TestFormatters: the table renderers produce non-empty output with the
+// right headers.
+func TestFormatters(t *testing.T) {
+	f7 := FormatFig7([]Fig7Row{{Name: "X", Executions: 1, Feasible: 1}})
+	if !strings.Contains(f7, "# Executions") || !strings.Contains(f7, "X") {
+		t.Errorf("bad Figure 7 table:\n%s", f7)
+	}
+	f8 := FormatFig8([]Fig8Row{{Name: "X", Injections: 2, Builtin: 1, Detected: 1, Missed: []string{"s: a -> b"}}})
+	if !strings.Contains(f8, "Admissibility") || !strings.Contains(f8, "missed") {
+		t.Errorf("bad Figure 8 table:\n%s", f8)
+	}
+	kb := FormatKnownBugs([]KnownBugResult{{Name: "B", Detected: true, Channel: "assertion"}})
+	if !strings.Contains(kb, "detected via assertion") {
+		t.Errorf("bad known-bugs table:\n%s", kb)
+	}
+}

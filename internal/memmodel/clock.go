@@ -1,0 +1,82 @@
+package memmodel
+
+// ClockVector is a vector clock indexed by thread id. Entry t holds the
+// per-thread sequence number (TSeq) of the latest action of thread t that
+// happens-before the point the clock describes (0 = none).
+//
+// Vector clocks implement happens-before exactly for the fragment the
+// checker explores: hb is the transitive closure of sequenced-before and
+// synchronizes-with edges, both of which the checker applies by merging
+// clocks at the moment the edge is created.
+type ClockVector struct {
+	c []uint32
+}
+
+// NewClockVector returns an empty clock (all zeros).
+func NewClockVector() *ClockVector { return &ClockVector{} }
+
+// Get returns the clock entry for thread tid.
+func (v *ClockVector) Get(tid int) uint32 {
+	if tid < 0 || tid >= len(v.c) {
+		return 0
+	}
+	return v.c[tid]
+}
+
+// Set raises the entry for thread tid to seq. It never lowers an entry.
+func (v *ClockVector) Set(tid int, seq uint32) {
+	v.grow(tid + 1)
+	if seq > v.c[tid] {
+		v.c[tid] = seq
+	}
+}
+
+// Merge raises every entry of v to at least the corresponding entry of o.
+// A nil o is a no-op.
+func (v *ClockVector) Merge(o *ClockVector) {
+	if o == nil {
+		return
+	}
+	v.grow(len(o.c))
+	for i, s := range o.c {
+		if s > v.c[i] {
+			v.c[i] = s
+		}
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *ClockVector) Clone() *ClockVector {
+	n := &ClockVector{c: make([]uint32, len(v.c))}
+	copy(n.c, v.c)
+	return n
+}
+
+// Contains reports whether the action identified by (tid, seq)
+// happens-before (or is) the point described by v.
+func (v *ClockVector) Contains(tid int, seq uint32) bool {
+	return v.Get(tid) >= seq
+}
+
+// DominatedBy reports whether every entry of v is <= the corresponding
+// entry of o (v ⊑ o). It is the component-wise partial order on clocks.
+func (v *ClockVector) DominatedBy(o *ClockVector) bool {
+	for i, s := range v.c {
+		if s == 0 {
+			continue
+		}
+		if o == nil || o.Get(i) < s {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of thread slots the clock currently tracks.
+func (v *ClockVector) Len() int { return len(v.c) }
+
+func (v *ClockVector) grow(n int) {
+	for len(v.c) < n {
+		v.c = append(v.c, 0)
+	}
+}

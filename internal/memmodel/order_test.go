@@ -1,0 +1,144 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderPredicates(t *testing.T) {
+	cases := []struct {
+		o                    MemOrder
+		acquire, release, sc bool
+	}{
+		{Relaxed, false, false, false},
+		{Consume, true, false, false},
+		{Acquire, true, false, false},
+		{Release, false, true, false},
+		{AcqRel, true, true, false},
+		{SeqCst, true, true, true},
+	}
+	for _, c := range cases {
+		if got := c.o.IsAcquire(); got != c.acquire {
+			t.Errorf("%s.IsAcquire() = %v, want %v", c.o, got, c.acquire)
+		}
+		if got := c.o.IsRelease(); got != c.release {
+			t.Errorf("%s.IsRelease() = %v, want %v", c.o, got, c.release)
+		}
+		if got := c.o.IsSeqCst(); got != c.sc {
+			t.Errorf("%s.IsSeqCst() = %v, want %v", c.o, got, c.sc)
+		}
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	want := map[MemOrder]string{
+		Relaxed: "relaxed", Consume: "consume", Acquire: "acquire",
+		Release: "release", AcqRel: "acq_rel", SeqCst: "seq_cst",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestWeakenLoadLadder(t *testing.T) {
+	got := WeakenLadder(OpLoad, SeqCst)
+	want := []MemOrder{Acquire, Relaxed}
+	if len(got) != len(want) {
+		t.Fatalf("load ladder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("load ladder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeakenStoreLadder(t *testing.T) {
+	got := WeakenLadder(OpStore, SeqCst)
+	want := []MemOrder{Release, Relaxed}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("store ladder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeakenRMWLadder(t *testing.T) {
+	got := WeakenLadder(OpRMW, SeqCst)
+	want := []MemOrder{AcqRel, Release, Relaxed}
+	if len(got) != len(want) {
+		t.Fatalf("rmw ladder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rmw ladder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeakenRelaxedIsTerminal(t *testing.T) {
+	for _, c := range []OpClass{OpLoad, OpStore, OpRMW, OpFence} {
+		if _, ok := Weaken(c, Relaxed); ok {
+			t.Errorf("Weaken(%s, relaxed) should be terminal", c)
+		}
+	}
+}
+
+// TestWeakenMonotone (property): weakening strictly reduces the
+// acquire/release capabilities of an operation — never adds any.
+func TestWeakenMonotone(t *testing.T) {
+	f := func(cRaw, oRaw uint8) bool {
+		c := OpClass(cRaw % 4)
+		o := MemOrder(oRaw % 6)
+		w, ok := Weaken(c, o)
+		if !ok {
+			return true
+		}
+		if w.IsAcquire() && !o.IsAcquire() {
+			return false
+		}
+		if w.IsRelease() && !o.IsRelease() {
+			return false
+		}
+		if w.IsSeqCst() {
+			return false // weakening always leaves seq_cst
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeakenTerminates (property): every ladder reaches relaxed.
+func TestWeakenTerminates(t *testing.T) {
+	f := func(cRaw, oRaw uint8) bool {
+		c := OpClass(cRaw % 4)
+		o := MemOrder(oRaw % 6)
+		for i := 0; i < 10; i++ {
+			next, ok := Weaken(c, o)
+			if !ok {
+				return true
+			}
+			o = next
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindAtomicRMW.IsWrite() || !KindAtomicRMW.IsRead() || !KindAtomicRMW.IsAtomic() {
+		t.Error("RMW should read, write, and be atomic")
+	}
+	if KindPlainLoad.IsAtomic() || !KindPlainLoad.IsRead() || KindPlainLoad.IsWrite() {
+		t.Error("plain load misclassified")
+	}
+	if KindFence.IsRead() || KindFence.IsWrite() {
+		t.Error("fence should not access memory")
+	}
+}

@@ -1,0 +1,112 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Site is one named atomic-operation site in a data structure: the unit
+// of memory-order parameterization. The bug-injection experiment of the
+// paper (§6.4.2) weakens one site at a time.
+type Site struct {
+	// Name identifies the site (e.g. "enq_cas_next").
+	Name string
+	// Class is the operation class at the site (load/store/rmw/fence).
+	Class OpClass
+	// Default is the order the correct implementation uses.
+	Default MemOrder
+}
+
+// OrderTable maps site names to their current memory orders. Data
+// structures read their orders through it so experiments can weaken
+// individual sites without touching the implementation.
+type OrderTable struct {
+	sites []Site
+	cur   map[string]MemOrder
+}
+
+// NewOrderTable builds a table with every site at its default order.
+func NewOrderTable(sites ...Site) *OrderTable {
+	t := &OrderTable{sites: sites, cur: make(map[string]MemOrder, len(sites))}
+	for _, s := range sites {
+		if _, dup := t.cur[s.Name]; dup {
+			panic(fmt.Sprintf("duplicate site %q", s.Name))
+		}
+		t.cur[s.Name] = s.Default
+	}
+	return t
+}
+
+// Get returns the current order for a site; unknown sites panic — they
+// are authoring errors in the structure or the experiment.
+func (t *OrderTable) Get(name string) MemOrder {
+	o, ok := t.cur[name]
+	if !ok {
+		panic(fmt.Sprintf("unknown memory-order site %q", name))
+	}
+	return o
+}
+
+// Set overrides the order of a site.
+func (t *OrderTable) Set(name string, o MemOrder) {
+	if _, ok := t.cur[name]; !ok {
+		panic(fmt.Sprintf("unknown memory-order site %q", name))
+	}
+	t.cur[name] = o
+}
+
+// Sites returns the site definitions, sorted by name for determinism.
+func (t *OrderTable) Sites() []Site {
+	out := append([]Site(nil), t.sites...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Site returns the definition of a named site.
+func (t *OrderTable) Site(name string) (Site, bool) {
+	for _, s := range t.sites {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Site{}, false
+}
+
+// Clone returns an independent copy with the same current orders.
+func (t *OrderTable) Clone() *OrderTable {
+	n := &OrderTable{sites: t.sites, cur: make(map[string]MemOrder, len(t.cur))}
+	for k, v := range t.cur {
+		n.cur[k] = v
+	}
+	return n
+}
+
+// WeakenSite lowers a site's current order one step on the injection
+// ladder; it reports false when the site is already at the weakest order.
+func (t *OrderTable) WeakenSite(name string) bool {
+	s, ok := t.Site(name)
+	if !ok {
+		panic(fmt.Sprintf("unknown memory-order site %q", name))
+	}
+	next, ok := Weaken(s.Class, t.cur[name])
+	if !ok {
+		return false
+	}
+	t.cur[name] = next
+	return true
+}
+
+// Weakenings enumerates every single-site one-step weakening of the
+// table's *default* orders: the paper's injection set ("we weakened one
+// operation per each trial").
+func (t *OrderTable) Weakenings() []*OrderTable {
+	var out []*OrderTable
+	for _, s := range t.Sites() {
+		c := t.Clone()
+		c.cur[s.Name] = s.Default // injections start from defaults
+		if c.WeakenSite(s.Name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

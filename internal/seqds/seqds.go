@@ -1,0 +1,290 @@
+// Package seqds provides the equivalent sequential data structures that
+// CDSSpec specifications declare as their internal state — the paper's
+// pre-defined types: an ordered list, a set, and a hashmap (§4.1), plus
+// small sequential lock states used by the lock benchmarks.
+//
+// These are deliberately plain, obviously-correct implementations: the
+// whole point of the methodology is that the sequential equivalent is
+// simple enough to trust.
+package seqds
+
+import "repro/internal/memmodel"
+
+// Value is the element type, matching the checker's word type.
+type Value = memmodel.Value
+
+// IntList is an ordered list of values (the paper's pre-defined ordered
+// list, used as the sequential FIFO queue and deque).
+type IntList struct {
+	items []Value
+}
+
+// NewIntList returns an empty list.
+func NewIntList() *IntList { return &IntList{} }
+
+// Len returns the number of elements.
+func (l *IntList) Len() int { return len(l.items) }
+
+// Empty reports whether the list has no elements.
+func (l *IntList) Empty() bool { return len(l.items) == 0 }
+
+// PushBack appends v.
+func (l *IntList) PushBack(v Value) { l.items = append(l.items, v) }
+
+// PushFront prepends v.
+func (l *IntList) PushFront(v Value) {
+	l.items = append([]Value{v}, l.items...)
+}
+
+// Front returns the first element; ok is false when empty.
+func (l *IntList) Front() (Value, bool) {
+	if len(l.items) == 0 {
+		return 0, false
+	}
+	return l.items[0], true
+}
+
+// Back returns the last element; ok is false when empty.
+func (l *IntList) Back() (Value, bool) {
+	if len(l.items) == 0 {
+		return 0, false
+	}
+	return l.items[len(l.items)-1], true
+}
+
+// PopFront removes and returns the first element.
+func (l *IntList) PopFront() (Value, bool) {
+	if len(l.items) == 0 {
+		return 0, false
+	}
+	v := l.items[0]
+	l.items = l.items[1:]
+	return v, true
+}
+
+// PopBack removes and returns the last element.
+func (l *IntList) PopBack() (Value, bool) {
+	if len(l.items) == 0 {
+		return 0, false
+	}
+	v := l.items[len(l.items)-1]
+	l.items = l.items[:len(l.items)-1]
+	return v, true
+}
+
+// Contains reports whether v occurs in the list.
+func (l *IntList) Contains(v Value) bool {
+	for _, x := range l.items {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove deletes the first occurrence of v, reporting whether it did.
+func (l *IntList) Remove(v Value) bool {
+	for i, x := range l.items {
+		if x == v {
+			l.items = append(l.items[:i], l.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Items returns a copy of the elements in order.
+func (l *IntList) Items() []Value {
+	return append([]Value(nil), l.items...)
+}
+
+// IntSet is an unordered set of values.
+type IntSet struct {
+	m map[Value]struct{}
+}
+
+// NewIntSet returns an empty set.
+func NewIntSet() *IntSet { return &IntSet{m: map[Value]struct{}{}} }
+
+// Len returns the number of elements.
+func (s *IntSet) Len() int { return len(s.m) }
+
+// Add inserts v, reporting whether it was absent.
+func (s *IntSet) Add(v Value) bool {
+	if _, ok := s.m[v]; ok {
+		return false
+	}
+	s.m[v] = struct{}{}
+	return true
+}
+
+// Remove deletes v, reporting whether it was present.
+func (s *IntSet) Remove(v Value) bool {
+	if _, ok := s.m[v]; !ok {
+		return false
+	}
+	delete(s.m, v)
+	return true
+}
+
+// Contains reports membership.
+func (s *IntSet) Contains(v Value) bool {
+	_, ok := s.m[v]
+	return ok
+}
+
+// IntMap is a hashmap from values to values (the paper's pre-defined
+// hashmap, used as the sequential equivalent of the concurrent
+// hashtable).
+type IntMap struct {
+	m map[Value]Value
+}
+
+// NewIntMap returns an empty map.
+func NewIntMap() *IntMap { return &IntMap{m: map[Value]Value{}} }
+
+// Len returns the number of entries.
+func (m *IntMap) Len() int { return len(m.m) }
+
+// Put sets key to val and returns the previous value (0 if absent).
+func (m *IntMap) Put(key, val Value) Value {
+	old := m.m[key]
+	m.m[key] = val
+	return old
+}
+
+// Get returns the value for key (0 if absent) and whether it was present.
+func (m *IntMap) Get(key Value) (Value, bool) {
+	v, ok := m.m[key]
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *IntMap) Delete(key Value) bool {
+	if _, ok := m.m[key]; !ok {
+		return false
+	}
+	delete(m.m, key)
+	return true
+}
+
+// LockState is the sequential equivalent of a mutual-exclusion lock.
+type LockState struct {
+	locked bool
+	owner  Value
+}
+
+// NewLockState returns an unlocked state.
+func NewLockState() *LockState { return &LockState{} }
+
+// Locked reports whether the lock is held.
+func (l *LockState) Locked() bool { return l.locked }
+
+// Owner returns the current holder (meaningful only when Locked).
+func (l *LockState) Owner() Value { return l.owner }
+
+// Acquire takes the lock; it reports false if already held (a sequential
+// spec violation when it happens in a history).
+func (l *LockState) Acquire(owner Value) bool {
+	if l.locked {
+		return false
+	}
+	l.locked = true
+	l.owner = owner
+	return true
+}
+
+// Release drops the lock; it reports false if not held by owner.
+func (l *LockState) Release(owner Value) bool {
+	if !l.locked || l.owner != owner {
+		return false
+	}
+	l.locked = false
+	return true
+}
+
+// RWLockState is the sequential equivalent of a reader-writer lock: a
+// writer flag plus a reader count (the paper's abstraction for the Linux
+// reader-writer lock, §6.1).
+type RWLockState struct {
+	writer  bool
+	readers int
+}
+
+// NewRWLockState returns an unlocked state.
+func NewRWLockState() *RWLockState { return &RWLockState{} }
+
+// Writer reports whether the write lock is held.
+func (l *RWLockState) Writer() bool { return l.writer }
+
+// Readers returns the number of read-lock holders.
+func (l *RWLockState) Readers() int { return l.readers }
+
+// AcquireRead takes a read lock; false if a writer holds the lock.
+func (l *RWLockState) AcquireRead() bool {
+	if l.writer {
+		return false
+	}
+	l.readers++
+	return true
+}
+
+// ReleaseRead drops a read lock; false if none held.
+func (l *RWLockState) ReleaseRead() bool {
+	if l.readers == 0 {
+		return false
+	}
+	l.readers--
+	return true
+}
+
+// AcquireWrite takes the write lock; false if any holder exists.
+func (l *RWLockState) AcquireWrite() bool {
+	if l.writer || l.readers > 0 {
+		return false
+	}
+	l.writer = true
+	return true
+}
+
+// ReleaseWrite drops the write lock; false if not held.
+func (l *RWLockState) ReleaseWrite() bool {
+	if !l.writer {
+		return false
+	}
+	l.writer = false
+	return true
+}
+
+// Register is the sequential equivalent of an atomic register (§2.2):
+// it remembers every write so that non-deterministic reads can be
+// justified against the set of written values.
+type Register struct {
+	current Value
+	written []Value
+}
+
+// NewRegister returns a register holding initial.
+func NewRegister(initial Value) *Register {
+	return &Register{current: initial, written: []Value{initial}}
+}
+
+// Write sets the current value.
+func (r *Register) Write(v Value) {
+	r.current = v
+	r.written = append(r.written, v)
+}
+
+// Read returns the current value.
+func (r *Register) Read() Value { return r.current }
+
+// EverWritten reports whether v was ever written (including the initial
+// value).
+func (r *Register) EverWritten(v Value) bool {
+	for _, x := range r.written {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package seqds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntListFIFO(t *testing.T) {
+	l := NewIntList()
+	if !l.Empty() {
+		t.Fatal("new list not empty")
+	}
+	l.PushBack(1)
+	l.PushBack(2)
+	l.PushBack(3)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	for _, want := range []Value{1, 2, 3} {
+		got, ok := l.PopFront()
+		if !ok || got != want {
+			t.Fatalf("PopFront = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := l.PopFront(); ok {
+		t.Fatal("PopFront on empty should fail")
+	}
+}
+
+func TestIntListDeque(t *testing.T) {
+	l := NewIntList()
+	l.PushBack(2)
+	l.PushFront(1)
+	l.PushBack(3)
+	if f, _ := l.Front(); f != 1 {
+		t.Errorf("Front = %d, want 1", f)
+	}
+	if b, _ := l.Back(); b != 3 {
+		t.Errorf("Back = %d, want 3", b)
+	}
+	v, ok := l.PopBack()
+	if !ok || v != 3 {
+		t.Errorf("PopBack = %d,%v", v, ok)
+	}
+	v, ok = l.PopFront()
+	if !ok || v != 1 {
+		t.Errorf("PopFront = %d,%v", v, ok)
+	}
+}
+
+func TestIntListRemoveContains(t *testing.T) {
+	l := NewIntList()
+	l.PushBack(5)
+	l.PushBack(6)
+	l.PushBack(5)
+	if !l.Contains(5) || l.Contains(7) {
+		t.Error("Contains wrong")
+	}
+	if !l.Remove(5) || l.Len() != 2 {
+		t.Error("Remove first occurrence failed")
+	}
+	if got := l.Items(); got[0] != 6 || got[1] != 5 {
+		t.Errorf("Items = %v", got)
+	}
+	if l.Remove(7) {
+		t.Error("Remove of absent value succeeded")
+	}
+}
+
+// TestIntListQueueOrder (property): pushing then popping returns elements
+// in insertion order.
+func TestIntListQueueOrder(t *testing.T) {
+	f := func(xs []Value) bool {
+		l := NewIntList()
+		for _, x := range xs {
+			l.PushBack(x)
+		}
+		for _, x := range xs {
+			got, ok := l.PopFront()
+			if !ok || got != x {
+				return false
+			}
+		}
+		return l.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntListStackOrder (property): PushBack/PopBack is LIFO.
+func TestIntListStackOrder(t *testing.T) {
+	f := func(xs []Value) bool {
+		l := NewIntList()
+		for _, x := range xs {
+			l.PushBack(x)
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			got, ok := l.PopBack()
+			if !ok || got != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntSet(t *testing.T) {
+	s := NewIntSet()
+	if !s.Add(1) || s.Add(1) {
+		t.Error("Add semantics wrong")
+	}
+	if !s.Contains(1) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if !s.Remove(1) || s.Remove(1) || s.Len() != 0 {
+		t.Error("Remove semantics wrong")
+	}
+}
+
+func TestIntMap(t *testing.T) {
+	m := NewIntMap()
+	if old := m.Put(1, 10); old != 0 {
+		t.Errorf("Put returned %d for fresh key", old)
+	}
+	if old := m.Put(1, 20); old != 10 {
+		t.Errorf("Put returned %d, want 10", old)
+	}
+	if v, ok := m.Get(1); !ok || v != 20 {
+		t.Errorf("Get = %d,%v", v, ok)
+	}
+	if _, ok := m.Get(2); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	if !m.Delete(1) || m.Delete(1) {
+		t.Error("Delete semantics wrong")
+	}
+}
+
+// TestIntMapPutGet (property): Get returns the last Put per key.
+func TestIntMapPutGet(t *testing.T) {
+	f := func(ops []struct{ K, V Value }) bool {
+		m := NewIntMap()
+		shadow := map[Value]Value{}
+		for _, op := range ops {
+			m.Put(op.K, op.V)
+			shadow[op.K] = op.V
+		}
+		for k, want := range shadow {
+			got, ok := m.Get(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return m.Len() == len(shadow)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLockState(t *testing.T) {
+	l := NewLockState()
+	if l.Locked() {
+		t.Error("new lock held")
+	}
+	if !l.Acquire(1) || l.Acquire(2) {
+		t.Error("Acquire semantics wrong")
+	}
+	if l.Owner() != 1 {
+		t.Errorf("Owner = %d", l.Owner())
+	}
+	if l.Release(2) {
+		t.Error("Release by non-owner succeeded")
+	}
+	if !l.Release(1) || l.Locked() {
+		t.Error("Release failed")
+	}
+	if l.Release(1) {
+		t.Error("double release succeeded")
+	}
+}
+
+func TestRWLockState(t *testing.T) {
+	l := NewRWLockState()
+	if !l.AcquireRead() || !l.AcquireRead() {
+		t.Fatal("two readers should coexist")
+	}
+	if l.AcquireWrite() {
+		t.Fatal("writer acquired with readers present")
+	}
+	if !l.ReleaseRead() || !l.ReleaseRead() || l.ReleaseRead() {
+		t.Fatal("read release miscounted")
+	}
+	if !l.AcquireWrite() {
+		t.Fatal("writer should acquire free lock")
+	}
+	if l.AcquireRead() || l.AcquireWrite() {
+		t.Fatal("lock not exclusive")
+	}
+	if !l.ReleaseWrite() || l.ReleaseWrite() {
+		t.Fatal("write release wrong")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := NewRegister(0)
+	if r.Read() != 0 || !r.EverWritten(0) {
+		t.Error("initial value wrong")
+	}
+	r.Write(5)
+	r.Write(9)
+	if r.Read() != 9 {
+		t.Errorf("Read = %d, want 9", r.Read())
+	}
+	if !r.EverWritten(5) || r.EverWritten(7) {
+		t.Error("EverWritten wrong")
+	}
+}

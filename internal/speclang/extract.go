@@ -1,0 +1,101 @@
+package speclang
+
+import "strings"
+
+// Extract scans source text (Go or C/C++) for CDSSpec annotations in
+// comments — both block comments and line comments, including inline
+// comments after code — and parses them. It is the extraction half of the
+// paper's specification compiler: the same source compiles normally (the
+// annotations live in comments) and yields its specification here.
+//
+// A line comment continues the previous annotation only when it is on the
+// immediately following source line; a gap ends the annotation, so
+// ordinary prose comments elsewhere in the file are not folded into
+// annotation bodies.
+func Extract(source string) ([]Annotation, error) {
+	var out []Annotation
+	var block []string
+	blockStart := 0
+	lastCommentLine := -10
+
+	flush := func() error {
+		if len(block) == 0 {
+			return nil
+		}
+		anns, err := Parse(strings.Join(block, "\n"))
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok {
+				pe.Line += blockStart - 1
+			}
+			return err
+		}
+		out = append(out, anns...)
+		block = nil
+		return nil
+	}
+
+	lines := strings.Split(source, "\n")
+	inBlockComment := false
+	for i, raw := range lines {
+		lineNo := i + 1
+		text, hasComment := commentText(raw, &inBlockComment)
+		switch {
+		case !hasComment, lineNo > lastCommentLine+1 && len(block) > 0 && !strings.Contains(text, "@"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if !hasComment {
+				continue
+			}
+			fallthrough
+		default:
+			if strings.Contains(text, "@") || (len(block) > 0 && lineNo == lastCommentLine+1) {
+				if len(block) == 0 {
+					blockStart = lineNo
+				}
+				block = append(block, text)
+				lastCommentLine = lineNo
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// commentText returns the comment portion of a source line, tracking
+// multi-line block comments.
+func commentText(raw string, inBlock *bool) (string, bool) {
+	s := raw
+	if *inBlock {
+		if end := strings.Index(s, "*/"); end >= 0 {
+			*inBlock = false
+			return strings.TrimSpace(s[:end]), true
+		}
+		return strings.TrimSpace(s), true
+	}
+	if idx := strings.Index(s, "/*"); idx >= 0 {
+		rest := s[idx+2:]
+		rest = strings.TrimPrefix(rest, "*") // handle /**
+		if end := strings.Index(rest, "*/"); end >= 0 {
+			return strings.TrimSpace(rest[:end]), true
+		}
+		*inBlock = true
+		return strings.TrimSpace(rest), true
+	}
+	if idx := strings.Index(s, "//"); idx >= 0 {
+		return strings.TrimSpace(s[idx+2:]), true
+	}
+	return "", false
+}
+
+// CountByKind tallies annotations per kind, the summary the §6.2
+// statistics use.
+func CountByKind(anns []Annotation) map[AnnotationKind]int {
+	out := map[AnnotationKind]int{}
+	for _, a := range anns {
+		out[a.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package speclang
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestExtractInlineComments(t *testing.T) {
+	src := `
+func (q *Queue) Enq(t *checker.Thread, val Value) {
+	if ok {
+		c.OPDefine(t, true) // @OPDefine: true
+	}
+}
+`
+	anns, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 || anns[0].Kind != OPDefine || anns[0].Body != "true" {
+		t.Fatalf("anns = %+v", anns)
+	}
+}
+
+func TestExtractBlockComment(t *testing.T) {
+	src := `
+/** @DeclareState: IntList *q; */
+struct Queue;
+/** @SideEffect: STATE(q)->push_back(val); */
+void enq(int val);
+`
+	anns, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 2 || anns[0].Kind != DeclareState || anns[1].Kind != SideEffect {
+		t.Fatalf("anns = %+v", anns)
+	}
+}
+
+func TestExtractContinuationLines(t *testing.T) {
+	src := `
+// @JustifyingPostcondition: if (C_RET == -1)
+//     return S_RET == -1;
+int deq();
+`
+	anns, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 {
+		t.Fatalf("anns = %+v", anns)
+	}
+	if !strings.Contains(anns[0].Body, "S_RET == -1") {
+		t.Errorf("continuation lost: %q", anns[0].Body)
+	}
+}
+
+func TestExtractIgnoresProseGaps(t *testing.T) {
+	src := `
+// @OPDefine: true
+
+// This unrelated prose comment must not be folded into the body.
+x := 1
+`
+	anns, err := Extract(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 || anns[0].Body != "true" {
+		t.Fatalf("prose leaked into annotation: %+v", anns)
+	}
+}
+
+func TestExtractErrorCarriesLine(t *testing.T) {
+	src := "x := 1\ny := 2\n// @Bogus: nope\n"
+	_, err := Extract(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error = %v", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+// TestExtractFromBlockingQueueSource runs the extractor over the real
+// blocking-queue implementation and cross-checks the comment annotations
+// against the hand-written instrumentation — the round trip the paper's
+// specification compiler performs.
+func TestExtractFromBlockingQueueSource(t *testing.T) {
+	src, err := os.ReadFile("../structures/blockingqueue/blockingqueue.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anns, err := Extract(string(src))
+	if err != nil {
+		t.Fatalf("extracting from real source: %v", err)
+	}
+	counts := CountByKind(anns)
+	// The implementation carries one @OPDefine (the enq CAS) and one
+	// @OPClearDefine (the deq next load); the spec function documents
+	// @SideEffect, @PostCondition and @JustifyingPostcondition.
+	if counts[OPDefine] < 1 {
+		t.Errorf("no @OPDefine extracted: %v", counts)
+	}
+	if counts[OPClearDefine] < 1 {
+		t.Errorf("no @OPClearDefine extracted: %v", counts)
+	}
+	if counts[SideEffect] < 1 || counts[PostCondition] < 1 || counts[JustifyingPost] < 1 {
+		t.Errorf("method annotations missing from source comments: %v", counts)
+	}
+}

@@ -1,0 +1,246 @@
+// Package speclang implements the front end of the paper's specification
+// compiler: a parser for the CDSSpec annotation language of Figure 5.
+//
+// The paper embeds annotations in C/C++ comments; the specification
+// compiler extracts them and generates instrumented code. In this
+// reproduction the *back end* (the instrumentation) is the core package's
+// Monitor API, written by hand where the compiler would emit it; this
+// package supplies the front end so that annotation blocks can be parsed,
+// validated, and cross-checked against a core.Spec.
+//
+// Grammar (Figure 5):
+//
+//	Structure     := (admissibility)* stateDefine
+//	stateDefine   := "@DeclareState:" code ("@Initial:" code)?
+//	                 ("@Copy:" code)? ("@Clear:" code)?
+//	admissibility := "@Admit:" label "<->" label "(" cond ")"
+//	Method        := ("@PreCondition:" code)? ("@JustifyingPrecondition:" code)?
+//	                 ("@SideEffect:" code)? ("@JustifyingPostcondition:" code)?
+//	                 ("@PostCondition:" code)?
+//	OrderingPoint := "@OPDefine:" cond | "@PotentialOP(" label "):" cond |
+//	                 "@OPCheck(" label "):" cond | "@OPClear:" cond |
+//	                 "@OPClearDefine:" cond
+package speclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AnnotationKind identifies one production of the Figure 5 grammar.
+type AnnotationKind string
+
+// The annotation kinds of Figure 5.
+const (
+	DeclareState   AnnotationKind = "DeclareState"
+	Initial        AnnotationKind = "Initial"
+	Copy           AnnotationKind = "Copy"
+	Clear          AnnotationKind = "Clear"
+	Admit          AnnotationKind = "Admit"
+	PreCondition   AnnotationKind = "PreCondition"
+	JustifyingPre  AnnotationKind = "JustifyingPrecondition"
+	SideEffect     AnnotationKind = "SideEffect"
+	JustifyingPost AnnotationKind = "JustifyingPostcondition"
+	PostCondition  AnnotationKind = "PostCondition"
+	OPDefine       AnnotationKind = "OPDefine"
+	PotentialOP    AnnotationKind = "PotentialOP"
+	OPCheck        AnnotationKind = "OPCheck"
+	OPClear        AnnotationKind = "OPClear"
+	OPClearDefine  AnnotationKind = "OPClearDefine"
+)
+
+// methodKinds are the annotations that belong to method blocks.
+var methodKinds = map[AnnotationKind]bool{
+	PreCondition: true, JustifyingPre: true, SideEffect: true,
+	JustifyingPost: true, PostCondition: true,
+}
+
+// opKinds are the ordering-point annotations.
+var opKinds = map[AnnotationKind]bool{
+	OPDefine: true, PotentialOP: true, OPCheck: true,
+	OPClear: true, OPClearDefine: true,
+}
+
+// structureKinds are the structure-level annotations.
+var structureKinds = map[AnnotationKind]bool{
+	DeclareState: true, Initial: true, Copy: true, Clear: true, Admit: true,
+}
+
+// Annotation is one parsed annotation.
+type Annotation struct {
+	Kind AnnotationKind
+	// Label is the parenthesized label of PotentialOP/OPCheck.
+	Label string
+	// M1, M2 are the two method names of an Admit rule.
+	M1, M2 string
+	// Body is the code or condition text following the colon.
+	Body string
+	// Line is the 1-based line within the parsed block.
+	Line int
+}
+
+// ParseError reports a malformed annotation.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Parse extracts the annotations from a comment block (the text between
+// the paper's /** ... */ markers, comment decoration allowed). Unknown
+// @-directives and grammar violations are errors; ordinary text is
+// ignored, matching the compiler's behavior of leaving the program's
+// semantics untouched.
+func Parse(block string) ([]Annotation, error) {
+	var out []Annotation
+	lines := strings.Split(block, "\n")
+	var cur *Annotation
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		line = strings.TrimPrefix(line, "/**")
+		line = strings.TrimSuffix(line, "*/")
+		line = strings.TrimPrefix(line, "*")
+		line = strings.TrimSpace(line)
+		at := strings.Index(line, "@")
+		if at < 0 {
+			// Continuation of the previous annotation's body.
+			if cur != nil && line != "" {
+				cur.Body += " " + line
+			}
+			continue
+		}
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+		ann, err := parseDirective(line[at+1:], i+1)
+		if err != nil {
+			return nil, err
+		}
+		cur = ann
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	for i := range out {
+		out[i].Body = strings.TrimSpace(out[i].Body)
+	}
+	return out, nil
+}
+
+// parseDirective parses "Kind(Label)?: body" or the Admit form.
+func parseDirective(s string, line int) (*Annotation, error) {
+	colon := strings.Index(s, ":")
+	if colon < 0 {
+		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("annotation %q missing ':'", "@"+s)}
+	}
+	head := strings.TrimSpace(s[:colon])
+	body := strings.TrimSpace(s[colon+1:])
+
+	name := head
+	label := ""
+	if open := strings.Index(head, "("); open >= 0 {
+		if !strings.HasSuffix(head, ")") {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unbalanced label in %q", head)}
+		}
+		name = head[:open]
+		label = strings.TrimSpace(head[open+1 : len(head)-1])
+		if label == "" {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("empty label in %q", head)}
+		}
+	}
+	kind := AnnotationKind(name)
+	switch {
+	case kind == Admit:
+		return parseAdmit(body, line)
+	case kind == PotentialOP || kind == OPCheck:
+		if label == "" {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%s requires a label", kind)}
+		}
+		return &Annotation{Kind: kind, Label: label, Body: body, Line: line}, nil
+	case methodKinds[kind] || opKinds[kind] || structureKinds[kind]:
+		if label != "" {
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("%s takes no label", kind)}
+		}
+		return &Annotation{Kind: kind, Body: body, Line: line}, nil
+	default:
+		return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unknown annotation @%s", name)}
+	}
+}
+
+// parseAdmit parses "m1 <-> m2 (cond)".
+func parseAdmit(body string, line int) (*Annotation, error) {
+	arrow := strings.Index(body, "<->")
+	if arrow < 0 {
+		return nil, &ParseError{Line: line, Msg: "@Admit requires 'm1 <-> m2 (cond)'"}
+	}
+	m1 := strings.TrimSpace(body[:arrow])
+	rest := strings.TrimSpace(body[arrow+3:])
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return nil, &ParseError{Line: line, Msg: "@Admit condition must be parenthesized"}
+	}
+	m2 := strings.TrimSpace(rest[:open])
+	cond := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	if m1 == "" || m2 == "" {
+		return nil, &ParseError{Line: line, Msg: "@Admit requires two method names"}
+	}
+	return &Annotation{Kind: Admit, M1: m1, M2: m2, Body: cond, Line: line}, nil
+}
+
+// MethodBlock is the parsed annotation set of one API method.
+type MethodBlock struct {
+	Name        string
+	Annotations []Annotation
+}
+
+// Validate checks the structural rules of the grammar over a structure
+// block and its method blocks:
+//
+//   - exactly one @DeclareState per structure,
+//   - at most one of each method annotation per method,
+//   - every @OPCheck label has a matching @PotentialOP in the same method.
+func Validate(structure []Annotation, methods []MethodBlock) error {
+	declares := 0
+	for _, a := range structure {
+		if !structureKinds[a.Kind] {
+			return fmt.Errorf("annotation @%s is not a structure annotation", a.Kind)
+		}
+		if a.Kind == DeclareState {
+			declares++
+		}
+	}
+	if declares != 1 {
+		return fmt.Errorf("structure must have exactly one @DeclareState, found %d", declares)
+	}
+	for _, m := range methods {
+		seen := map[AnnotationKind]int{}
+		labels := map[string]bool{}
+		for _, a := range m.Annotations {
+			if structureKinds[a.Kind] {
+				return fmt.Errorf("method %s: @%s belongs in the structure block", m.Name, a.Kind)
+			}
+			if methodKinds[a.Kind] {
+				seen[a.Kind]++
+			}
+			if a.Kind == PotentialOP {
+				labels[a.Label] = true
+			}
+		}
+		for k, n := range seen {
+			if n > 1 {
+				return fmt.Errorf("method %s: @%s given %d times", m.Name, k, n)
+			}
+		}
+		for _, a := range m.Annotations {
+			if a.Kind == OPCheck && !labels[a.Label] {
+				return fmt.Errorf("method %s: @OPCheck(%s) has no matching @PotentialOP", m.Name, a.Label)
+			}
+		}
+	}
+	return nil
+}

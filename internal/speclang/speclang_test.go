@@ -1,0 +1,171 @@
+package speclang
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure6Structure is the structure annotation of the paper's Figure 6.
+const figure6Structure = `/** @DeclareState: IntList *q; */`
+
+// figure6Deq is the deq method annotation block of Figure 6.
+const figure6Deq = `/** @SideEffect:
+     S_RET = STATE(q)->empty() ? -1 : STATE(q)->front();
+     if (S_RET != -1 && C_RET != -1) STATE(q)->pop_front();
+    @PostCondition:
+     return C_RET == -1 ? true : C_RET == S_RET;
+    @JustifyingPostcondition: if (C_RET == -1)
+     return S_RET == -1; */`
+
+func TestParseFigure6Structure(t *testing.T) {
+	anns, err := Parse(figure6Structure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) != 1 || anns[0].Kind != DeclareState {
+		t.Fatalf("anns = %+v", anns)
+	}
+	if anns[0].Body != "IntList *q;" {
+		t.Errorf("body = %q", anns[0].Body)
+	}
+}
+
+func TestParseFigure6Deq(t *testing.T) {
+	anns, err := Parse(figure6Deq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []AnnotationKind{SideEffect, PostCondition, JustifyingPost}
+	if len(anns) != len(kinds) {
+		t.Fatalf("got %d annotations: %+v", len(anns), anns)
+	}
+	for i, k := range kinds {
+		if anns[i].Kind != k {
+			t.Errorf("annotation %d kind = %s, want %s", i, anns[i].Kind, k)
+		}
+	}
+	// Multi-line bodies are joined.
+	if !strings.Contains(anns[0].Body, "pop_front") {
+		t.Errorf("side effect body lost its continuation: %q", anns[0].Body)
+	}
+	if !strings.Contains(anns[2].Body, "S_RET == -1") {
+		t.Errorf("justifying body = %q", anns[2].Body)
+	}
+}
+
+func TestParseOrderingPoints(t *testing.T) {
+	anns, err := Parse(`/** @OPDefine: true */`)
+	if err != nil || len(anns) != 1 || anns[0].Kind != OPDefine || anns[0].Body != "true" {
+		t.Fatalf("OPDefine parse: %+v, %v", anns, err)
+	}
+	anns, err = Parse(`/** @OPClearDefine: n == NULL */`)
+	if err != nil || anns[0].Kind != OPClearDefine {
+		t.Fatalf("OPClearDefine parse: %+v, %v", anns, err)
+	}
+	anns, err = Parse(`/** @PotentialOP(LabelA): x > 0 */`)
+	if err != nil || anns[0].Kind != PotentialOP || anns[0].Label != "LabelA" {
+		t.Fatalf("PotentialOP parse: %+v, %v", anns, err)
+	}
+	anns, err = Parse(`/** @OPCheck(LabelA): succeeded */`)
+	if err != nil || anns[0].Kind != OPCheck || anns[0].Label != "LabelA" {
+		t.Fatalf("OPCheck parse: %+v, %v", anns, err)
+	}
+}
+
+func TestParseAdmit(t *testing.T) {
+	// The paper's §4.1 example rule.
+	anns, err := Parse(`/** @Admit: deq <-> enq (M1->C_RET == -1) */`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := anns[0]
+	if a.Kind != Admit || a.M1 != "deq" || a.M2 != "enq" || a.Body != "M1->C_RET == -1" {
+		t.Fatalf("admit parse: %+v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		block string
+	}{
+		{"unknown directive", `/** @Bogus: x */`},
+		{"missing colon", `/** @OPDefine true */`},
+		{"potential without label", `/** @PotentialOP: c */`},
+		{"opcheck without label", `/** @OPCheck: c */`},
+		{"label on sideeffect", `/** @SideEffect(x): c */`},
+		{"admit missing arrow", `/** @Admit: deq enq (c) */`},
+		{"admit missing cond", `/** @Admit: deq <-> enq */`},
+		{"admit missing name", `/** @Admit: <-> enq (c) */`},
+		{"unbalanced label", `/** @PotentialOP(a: c */`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.block); err == nil {
+				t.Errorf("Parse(%q) should fail", c.block)
+			}
+		})
+	}
+}
+
+func TestParseIgnoresProse(t *testing.T) {
+	anns, err := Parse(`/** This structure is a queue.
+	 * It has methods.
+	 */`)
+	if err != nil || len(anns) != 0 {
+		t.Fatalf("prose should parse to nothing: %+v, %v", anns, err)
+	}
+}
+
+func TestValidateStructureRules(t *testing.T) {
+	good := []Annotation{{Kind: DeclareState, Body: "IntList *q;"}}
+	if err := Validate(good, nil); err != nil {
+		t.Errorf("valid structure rejected: %v", err)
+	}
+	if err := Validate(nil, nil); err == nil {
+		t.Error("missing @DeclareState accepted")
+	}
+	two := []Annotation{{Kind: DeclareState}, {Kind: DeclareState}}
+	if err := Validate(two, nil); err == nil {
+		t.Error("duplicate @DeclareState accepted")
+	}
+	misplaced := []Annotation{{Kind: DeclareState}, {Kind: SideEffect}}
+	if err := Validate(misplaced, nil); err == nil {
+		t.Error("method annotation in structure block accepted")
+	}
+}
+
+func TestValidateMethodRules(t *testing.T) {
+	structure := []Annotation{{Kind: DeclareState}}
+	dup := []MethodBlock{{Name: "deq", Annotations: []Annotation{
+		{Kind: SideEffect}, {Kind: SideEffect},
+	}}}
+	if err := Validate(structure, dup); err == nil {
+		t.Error("duplicate @SideEffect accepted")
+	}
+	danglingCheck := []MethodBlock{{Name: "put", Annotations: []Annotation{
+		{Kind: OPCheck, Label: "A"},
+	}}}
+	if err := Validate(structure, danglingCheck); err == nil {
+		t.Error("@OPCheck without @PotentialOP accepted")
+	}
+	matched := []MethodBlock{{Name: "put", Annotations: []Annotation{
+		{Kind: PotentialOP, Label: "A"},
+		{Kind: OPCheck, Label: "A"},
+		{Kind: SideEffect},
+	}}}
+	if err := Validate(structure, matched); err != nil {
+		t.Errorf("valid method rejected: %v", err)
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := Parse(`/** @Bogus: x */`)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if pe.Line != 1 || !strings.Contains(pe.Error(), "Bogus") {
+		t.Errorf("error = %v", pe)
+	}
+}

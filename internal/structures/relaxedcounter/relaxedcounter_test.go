@@ -1,0 +1,96 @@
+package relaxedcounter
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+)
+
+func TestSequentialExact(t *testing.T) {
+	res := core.Explore(Spec("c"), checker.Config{}, func(root *checker.Thread) {
+		c := New(root, "c", nil)
+		root.Assert(c.Read(root) == 0, "fresh counter")
+		c.Inc(root)
+		c.Inc(root)
+		root.Assert(c.Read(root) == 2, "sequential reads are exact")
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("sequential counter failed: %v", res.FirstFailure())
+	}
+}
+
+// TestConcurrentReadsBounded: a read racing two increments returns 0..2;
+// every execution satisfies the weak spec.
+func TestConcurrentReadsBounded(t *testing.T) {
+	var seen [3]bool
+	var got memmodel.Value
+	cfg := checker.Config{
+		OnExecution: func(sys *checker.System) []*checker.Failure {
+			if got <= 2 {
+				seen[got] = true
+			}
+			return nil
+		},
+	}
+	res := core.Explore(Spec("c"), cfg, func(root *checker.Thread) {
+		c := New(root, "c", nil)
+		i1 := root.Spawn("i1", func(tt *checker.Thread) { c.Inc(tt) })
+		i2 := root.Spawn("i2", func(tt *checker.Thread) { c.Inc(tt) })
+		r := root.Spawn("r", func(tt *checker.Thread) { got = c.Read(tt) })
+		root.Join(i1)
+		root.Join(i2)
+		root.Join(r)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("weak counter spec violated: %v", res.FirstFailure())
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("never observed read=%d (all of 0..2 should be reachable)", v)
+		}
+	}
+}
+
+// TestSynchronizationPointRestoresExactness: after the joins (the §3.3
+// "synchronization point"), a read must equal the number of increments —
+// the weak spec still forbids lost or phantom counts.
+func TestSynchronizationPointRestoresExactness(t *testing.T) {
+	res := core.Explore(Spec("c"), checker.Config{}, func(root *checker.Thread) {
+		c := New(root, "c", nil)
+		i1 := root.Spawn("i1", func(tt *checker.Thread) {
+			c.Inc(tt)
+			c.Inc(tt)
+		})
+		i2 := root.Spawn("i2", func(tt *checker.Thread) { c.Inc(tt) })
+		root.Join(i1)
+		root.Join(i2)
+		root.Assert(c.Read(root) == 3, "post-join read must be exact: %d", c.Read(root))
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("post-synchronization exactness failed: %v", res.FirstFailure())
+	}
+}
+
+// TestPhantomCountRejected: a spec requiring a value that can never be
+// justified (more than base+concurrent) is correctly flagged — the weak
+// spec is not vacuous.
+func TestPhantomCountRejected(t *testing.T) {
+	spec := Spec("c")
+	// Tighten the spec wrongly: claim reads are always exact even under
+	// concurrency. Some execution must violate it.
+	spec.Methods["c.read"].JustifyPost = func(st core.State, c *core.Call, conc []*core.Call) bool {
+		return c.Ret == st.(*counterState).n
+	}
+	res := core.Explore(spec, checker.Config{StopAtFirst: true}, func(root *checker.Thread) {
+		c := New(root, "c", nil)
+		i := root.Spawn("i", func(tt *checker.Thread) { c.Inc(tt) })
+		r := root.Spawn("r", func(tt *checker.Thread) { _ = c.Read(tt) })
+		root.Join(i)
+		root.Join(r)
+	})
+	if res.FailureCount == 0 {
+		t.Fatal("exact-read spec should be violated by a concurrent read")
+	}
+}

@@ -1,0 +1,98 @@
+package spsc
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+)
+
+// unitTest: a producer of two items and a consumer of two.
+func unitTest(ord *memmodel.OrderTable) func(*checker.Thread) {
+	return func(root *checker.Thread) {
+		q := New(root, "q", ord)
+		p := root.Spawn("p", func(tt *checker.Thread) {
+			q.Enq(tt, 1)
+			q.Enq(tt, 2)
+		})
+		c := root.Spawn("c", func(tt *checker.Thread) {
+			v1 := q.Deq(tt)
+			v2 := q.Deq(tt)
+			tt.Assert(v1 == 1 && v2 == 2, "FIFO broken: %d %d", v1, v2)
+		})
+		root.Join(p)
+		root.Join(c)
+	}
+}
+
+func TestSequential(t *testing.T) {
+	res := core.Explore(Spec("q"), checker.Config{}, func(root *checker.Thread) {
+		q := New(root, "q", nil)
+		q.Enq(root, 5)
+		root.Assert(q.Deq(root) == 5, "deq")
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("sequential SPSC failed: %v", res.FirstFailure())
+	}
+}
+
+func TestConcurrentCorrect(t *testing.T) {
+	res := core.Explore(Spec("q"), checker.Config{}, unitTest(nil))
+	if res.FailureCount != 0 {
+		t.Fatalf("correct SPSC failed: %v", res.FirstFailure())
+	}
+	if res.Feasible == 0 {
+		t.Fatal("no feasible executions")
+	}
+}
+
+// TestDeqBlocksUntilEnq: the consumer spin is satisfied in every
+// execution (no livelock) when the producer eventually enqueues.
+func TestDeqBlocksUntilEnq(t *testing.T) {
+	res := core.Explore(Spec("q"), checker.Config{}, func(root *checker.Thread) {
+		q := New(root, "q", nil)
+		c := root.Spawn("c", func(tt *checker.Thread) {
+			tt.Assert(q.Deq(tt) == 9, "deq value")
+		})
+		p := root.Spawn("p", func(tt *checker.Thread) {
+			q.Enq(tt, 9)
+		})
+		root.Join(c)
+		root.Join(p)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("blocking deq failed: %v", res.FirstFailure())
+	}
+}
+
+// TestMisuseTwoProducersInadmissible: violating the SPSC contract with
+// two producers yields executions flagged inadmissible by the @Admit
+// rules (usage-contract checking, §2 "constrain the valid usage
+// patterns").
+func TestMisuseTwoProducersInadmissible(t *testing.T) {
+	res := core.Explore(Spec("q"), checker.Config{MaxExecutions: 5000}, func(root *checker.Thread) {
+		q := New(root, "q", nil)
+		p1 := root.Spawn("p1", func(tt *checker.Thread) { q.Enq(tt, 1) })
+		p2 := root.Spawn("p2", func(tt *checker.Thread) { q.Enq(tt, 2) })
+		root.Join(p1)
+		root.Join(p2)
+	})
+	if !res.HasKind(checker.FailAdmissibility) {
+		t.Fatalf("two-producer misuse not flagged inadmissible: %v", res)
+	}
+}
+
+// TestInjectionSweep: both sites detected (paper: 2/2, assertions).
+func TestInjectionSweep(t *testing.T) {
+	weaks := DefaultOrders().Weakenings()
+	if len(weaks) != 2 {
+		t.Fatalf("expected 2 injectable sites, got %d", len(weaks))
+	}
+	for _, weak := range weaks {
+		res := core.Explore(Spec("q"), checker.Config{StopAtFirst: true}, unitTest(weak))
+		if res.FailureCount == 0 {
+			t.Errorf("injection not detected")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package structures_test holds cross-structure integration tests: the
+// composability theorem (paper §3.2) applied to real benchmark objects,
+// nested API calls (§4.3), and the history-sampling option (§5.2).
+package structures_test
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+	"repro/internal/structures/blockingqueue"
+	"repro/internal/structures/msqueue"
+	"repro/internal/structures/ticketlock"
+)
+
+// TestComposeQueueAndLock exercises Theorem 1 on two different object
+// types in one program: a Michael & Scott queue and a ticket lock, each
+// non-deterministic linearizable for its own spec, composed with
+// core.Compose. Every execution must satisfy the composition.
+func TestComposeQueueAndLock(t *testing.T) {
+	spec := core.Compose(msqueue.Spec("q"), ticketlock.Spec("l"))
+	res := core.Explore(spec, checker.Config{}, func(root *checker.Thread) {
+		q := msqueue.New(root, "q", nil)
+		l := ticketlock.New(root, "l", nil)
+		a := root.Spawn("a", func(tt *checker.Thread) {
+			l.Lock(tt)
+			q.Enq(tt, 1)
+			l.Unlock(tt)
+		})
+		b := root.Spawn("b", func(tt *checker.Thread) {
+			l.Lock(tt)
+			q.Deq(tt)
+			l.Unlock(tt)
+		})
+		root.Join(a)
+		root.Join(b)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("composition violated: %v", res.FirstFailure())
+	}
+	if res.Feasible == 0 {
+		t.Fatal("no feasible executions")
+	}
+}
+
+// TestComposeTwoQueues composes two instances of the same type (the
+// paper's Figure 3 objects x and y are the canonical case; here with the
+// M&S queue to cover the composition path on a second structure).
+func TestComposeTwoQueues(t *testing.T) {
+	spec := core.Compose(msqueue.Spec("x"), msqueue.Spec("y"))
+	res := core.Explore(spec, checker.Config{}, func(root *checker.Thread) {
+		x := msqueue.New(root, "x", nil)
+		y := msqueue.New(root, "y", nil)
+		a := root.Spawn("a", func(tt *checker.Thread) {
+			x.Enq(tt, 1)
+			y.Deq(tt)
+		})
+		b := root.Spawn("b", func(tt *checker.Thread) {
+			y.Enq(tt, 2)
+			x.Deq(tt)
+		})
+		root.Join(a)
+		root.Join(b)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("two-queue composition violated: %v", res.FirstFailure())
+	}
+}
+
+// TestComposedBugStillDetected: composition must not mask violations in
+// one component (the contrapositive of Theorem 1).
+func TestComposedBugStillDetected(t *testing.T) {
+	spec := core.Compose(msqueue.Spec("q"), ticketlock.Spec("l"))
+	buggy := msqueue.KnownBugEnqueue()
+	res := core.Explore(spec, checker.Config{StopAtFirst: true}, func(root *checker.Thread) {
+		q := msqueue.New(root, "q", buggy)
+		l := ticketlock.New(root, "l", nil)
+		a := root.Spawn("a", func(tt *checker.Thread) {
+			q.Enq(tt, 1)
+			l.Lock(tt)
+			l.Unlock(tt)
+		})
+		b := root.Spawn("b", func(tt *checker.Thread) {
+			q.Deq(tt)
+		})
+		root.Join(a)
+		root.Join(b)
+	})
+	if res.FailureCount == 0 {
+		t.Fatal("composition masked a component bug")
+	}
+}
+
+// enqTwice is an aggregate API method in the §4.3 sense: it calls the
+// primitive Enq twice. Only the outermost call is recorded, so the spec
+// needs an entry for it; the inner Enq calls are treated as internal.
+func enqTwice(t *checker.Thread, q *blockingqueue.Queue, mon *core.Monitor, a, b memmodel.Value) {
+	c := mon.Begin(t, "q.enqTwice", a, b)
+	q.Enq(t, a)
+	q.Enq(t, b)
+	c.OPDefine(t, true) // last primitive's ordering point region ends here
+	c.EndVoid(t)
+}
+
+// TestNestedAPICalls: an aggregate method's inner primitive calls are not
+// separately recorded or checked (§4.3 "Nested API Method Call").
+func TestNestedAPICalls(t *testing.T) {
+	spec := blockingqueue.Spec("q")
+	spec.Methods["q.enqTwice"] = &core.MethodSpec{
+		SideEffect: func(st core.State, c *core.Call) {
+			// Apply both pushes to the sequential FIFO.
+			l := st.(interface{ PushBack(memmodel.Value) })
+			l.PushBack(c.Arg(0))
+			l.PushBack(c.Arg(1))
+		},
+	}
+	var callNames []string
+	cfg := checker.Config{
+		OnExecution: func(sys *checker.System) []*checker.Failure {
+			callNames = nil
+			for _, c := range core.FromSys(sys).Calls() {
+				callNames = append(callNames, c.Name)
+			}
+			return nil
+		},
+	}
+	res := core.Explore(spec, cfg, func(root *checker.Thread) {
+		q := blockingqueue.New(root, "q", nil)
+		mon := core.Of(root)
+		enqTwice(root, q, mon, 1, 2)
+		root.Assert(q.Deq(root) == 1, "deq 1")
+		root.Assert(q.Deq(root) == 2, "deq 2")
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("aggregate method failed: %v", res.FirstFailure())
+	}
+	want := []string{"q.enqTwice", "q.deq", "q.deq"}
+	if len(callNames) != len(want) {
+		t.Fatalf("recorded calls = %v, want %v", callNames, want)
+	}
+	for i := range want {
+		if callNames[i] != want[i] {
+			t.Fatalf("recorded calls = %v, want %v", callNames, want)
+		}
+	}
+}
+
+// TestHistorySampling: the §5.2 sampling option checks the configured
+// number of random histories and still passes on a correct structure.
+func TestHistorySampling(t *testing.T) {
+	spec := msqueue.Spec("q")
+	spec.SampleHistories = 5
+	res := core.Explore(spec, checker.Config{}, func(root *checker.Thread) {
+		q := msqueue.New(root, "q", nil)
+		a := root.Spawn("a", func(tt *checker.Thread) { q.Enq(tt, 1) })
+		b := root.Spawn("b", func(tt *checker.Thread) { q.Enq(tt, 2) })
+		root.Join(a)
+		root.Join(b)
+		q.Deq(root)
+		q.Deq(root)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("sampled checking failed on a correct structure: %v", res.FirstFailure())
+	}
+}
+
+// TestHistorySamplingStillDetects: sampling keeps catching deterministic
+// violations (every history of a buggy single-thread run fails).
+func TestHistorySamplingStillDetects(t *testing.T) {
+	spec := msqueue.Spec("q")
+	spec.SampleHistories = 3
+	res := core.Explore(spec, checker.Config{StopAtFirst: true}, func(root *checker.Thread) {
+		q := msqueue.New(root, "q", msqueue.KnownBugEnqueue())
+		a := root.Spawn("a", func(tt *checker.Thread) {
+			q.Enq(tt, 1)
+			q.Deq(tt)
+		})
+		b := root.Spawn("b", func(tt *checker.Thread) {
+			q.Enq(tt, 2)
+			q.Deq(tt)
+		})
+		root.Join(a)
+		root.Join(b)
+	})
+	if res.FailureCount == 0 {
+		t.Fatal("sampling missed the known bug entirely")
+	}
+}

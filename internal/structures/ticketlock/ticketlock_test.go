@@ -1,0 +1,138 @@
+package ticketlock
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+)
+
+// unitTest is the paper-scale workload: two threads each take the lock
+// once around a critical section.
+func unitTest(ord *memmodel.OrderTable, critical func(l *Lock, tt *checker.Thread)) func(*checker.Thread) {
+	return func(root *checker.Thread) {
+		l := New(root, "l", ord)
+		body := func(tt *checker.Thread) {
+			l.Lock(tt)
+			if critical != nil {
+				critical(l, tt)
+			}
+			l.Unlock(tt)
+		}
+		a := root.Spawn("a", body)
+		b := root.Spawn("b", body)
+		root.Join(a)
+		root.Join(b)
+	}
+}
+
+func TestCorrectLock(t *testing.T) {
+	res := core.Explore(Spec("l"), checker.Config{}, unitTest(nil, nil))
+	if res.FailureCount != 0 {
+		t.Fatalf("correct ticket lock failed: %v", res.FirstFailure())
+	}
+	if res.Feasible == 0 {
+		t.Fatal("no feasible executions")
+	}
+}
+
+// TestMutualExclusionProtectsPlainData: a plain counter incremented in
+// the critical section is race-free and never loses updates.
+func TestMutualExclusionProtectsPlainData(t *testing.T) {
+	res := core.Explore(Spec("l"), checker.Config{}, func(root *checker.Thread) {
+		l := New(root, "l", nil)
+		cnt := root.NewPlainInit("cnt", 0)
+		body := func(tt *checker.Thread) {
+			l.Lock(tt)
+			cnt.Store(tt, cnt.Load(tt)+1)
+			l.Unlock(tt)
+		}
+		a := root.Spawn("a", body)
+		b := root.Spawn("b", body)
+		root.Join(a)
+		root.Join(b)
+		root.Assert(cnt.Load(root) == 2, "lost update: %d", cnt.Load(root))
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("ticket lock failed to protect data: %v", res.FirstFailure())
+	}
+}
+
+// TestThreeThreadsFIFO: tickets serve in FIFO order; with three
+// contenders every interleaving still satisfies the lock spec.
+func TestThreeThreadsFIFO(t *testing.T) {
+	res := core.Explore(Spec("l"), checker.Config{}, func(root *checker.Thread) {
+		l := New(root, "l", nil)
+		body := func(tt *checker.Thread) {
+			l.Lock(tt)
+			l.Unlock(tt)
+		}
+		a := root.Spawn("a", body)
+		b := root.Spawn("b", body)
+		c := root.Spawn("c", body)
+		root.Join(a)
+		root.Join(b)
+		root.Join(c)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("three-thread ticket lock failed: %v", res.FirstFailure())
+	}
+}
+
+// TestRelockSameThread: a thread can re-take the lock after unlocking.
+func TestRelockSameThread(t *testing.T) {
+	res := core.Explore(Spec("l"), checker.Config{}, func(root *checker.Thread) {
+		l := New(root, "l", nil)
+		l.Lock(root)
+		l.Unlock(root)
+		l.Lock(root)
+		l.Unlock(root)
+	})
+	if res.FailureCount != 0 {
+		t.Fatalf("relock failed: %v", res.FirstFailure())
+	}
+}
+
+// TestInjectionSweep: both weakenable sites must be detected — the paper
+// reports 2/2, both via assertions (spec violations), which is why the
+// workload has no plain data in the critical section.
+func TestInjectionSweep(t *testing.T) {
+	weaks := DefaultOrders().Weakenings()
+	if len(weaks) != 2 {
+		t.Fatalf("expected 2 injectable sites, got %d", len(weaks))
+	}
+	for _, weak := range weaks {
+		res := core.Explore(Spec("l"), checker.Config{StopAtFirst: true}, unitTest(weak, nil))
+		if res.FailureCount == 0 {
+			t.Errorf("injection not detected: %v", weak.Sites())
+			continue
+		}
+		if f := res.FirstFailure(); f.Kind != checker.FailAssertion {
+			t.Errorf("expected assertion-channel detection, got %v", f.Kind)
+		}
+	}
+}
+
+// TestWeakenedLockRacesOnData: with plain data in the critical section,
+// the same injections also surface as data races (built-in check).
+func TestWeakenedLockRacesOnData(t *testing.T) {
+	ord := DefaultOrders()
+	ord.Set(SiteLoadServing, memmodel.Relaxed)
+	res := core.Explore(Spec("l"), checker.Config{StopAtFirst: true}, func(root *checker.Thread) {
+		l := New(root, "l", ord)
+		cnt := root.NewPlainInit("cnt", 0)
+		body := func(tt *checker.Thread) {
+			l.Lock(tt)
+			cnt.Store(tt, cnt.Load(tt)+1)
+			l.Unlock(tt)
+		}
+		a := root.Spawn("a", body)
+		b := root.Spawn("b", body)
+		root.Join(a)
+		root.Join(b)
+	})
+	if res.FailureCount == 0 {
+		t.Fatal("weakened ticket lock not detected")
+	}
+}
