@@ -11,6 +11,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/core"
@@ -56,9 +57,34 @@ func benchFig8(b *testing.B, name string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		row := bm.RunFig8()
+		row := bm.RunFig8(harness.Options{Workers: 1})
 		b.ReportMetric(float64(row.Injections), "injections")
 		b.ReportMetric(float64(row.Detected), "detected")
+	}
+}
+
+// BenchmarkParallelSpeedup contrasts a sequential Figure 8 sweep with a
+// 4-worker one over a fixed set of benchmarks, reporting the wall-clock
+// speedup (on a >= 4-core machine the target is >= 2x).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	names := []string{"M&S Queue", "SPSC Queue", "Ticket Lock", "Linux RW Lock"}
+	sweep := func(workers int) time.Duration {
+		start := time.Now()
+		for _, n := range names {
+			bm := harness.BenchmarkByName(n)
+			if bm == nil {
+				b.Fatalf("unknown benchmark %q", n)
+			}
+			bm.RunFig8(harness.Options{Workers: workers})
+		}
+		return time.Since(start)
+	}
+	for i := 0; i < b.N; i++ {
+		seq := sweep(1)
+		par := sweep(4)
+		b.ReportMetric(seq.Seconds(), "seq-s")
+		b.ReportMetric(par.Seconds(), "par-s")
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
 	}
 }
 

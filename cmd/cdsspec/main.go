@@ -13,6 +13,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -21,12 +22,21 @@ import (
 	"repro/internal/harness"
 )
 
+// workers is the -workers flag: worker-pool size for the experiment
+// harness and the parallel explorer (0 = GOMAXPROCS).
+var workers = flag.Int("workers", 0, "worker pool size for experiments (0 = GOMAXPROCS)")
+
+func opts() harness.Options { return harness.Options{Workers: *workers} }
+
 func main() {
-	if len(os.Args) < 2 {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "fig7":
 		fig7()
 	case "fig8":
@@ -42,17 +52,17 @@ func main() {
 			fmt.Println(b.Name)
 		}
 	case "run":
-		if len(os.Args) < 3 {
-			fmt.Fprintln(os.Stderr, "usage: cdsspec run <benchmark>")
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "usage: cdsspec [-workers N] run <benchmark>")
 			os.Exit(2)
 		}
-		runOne(os.Args[2])
+		runOne(args[1])
 	case "dot":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "usage: cdsspec dot <benchmark>")
 			os.Exit(2)
 		}
-		dotOne(os.Args[2])
+		dotOne(args[1])
 	case "all":
 		fig7()
 		fmt.Println()
@@ -70,25 +80,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cdsspec {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|list|all}")
+	fmt.Fprintln(os.Stderr, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|list|all}")
 }
 
 func fig7() {
 	fmt.Println("=== Figure 7: benchmark results ===")
-	var rows []harness.Fig7Row
-	for _, b := range harness.Benchmarks() {
-		rows = append(rows, b.RunFig7())
-	}
-	fmt.Print(harness.FormatFig7(rows))
+	fmt.Print(harness.FormatFig7(harness.RunAllFig7(opts())))
 }
 
 func fig8() {
 	fmt.Println("=== Figure 8: bug injection detection ===")
-	var rows []harness.Fig8Row
-	for _, b := range harness.Benchmarks() {
-		rows = append(rows, b.RunFig8())
-	}
-	fmt.Print(harness.FormatFig8(rows))
+	fmt.Print(harness.FormatFig8(harness.RunAllFig8(opts())))
 }
 
 func knownBugs() {
@@ -142,6 +144,6 @@ func runOne(name string) {
 	}
 	row := b.RunFig7()
 	fmt.Print(harness.FormatFig7([]harness.Fig7Row{row}))
-	f8 := b.RunFig8()
+	f8 := b.RunFig8(opts())
 	fmt.Print(harness.FormatFig8([]harness.Fig8Row{f8}))
 }

@@ -25,8 +25,18 @@ import (
 // Config controls an exploration.
 type Config struct {
 	// MaxExecutions bounds the number of executions explored
-	// (0 = exhaustive).
+	// (0 = exhaustive). It applies to both DFS and RandomWalk mode.
 	MaxExecutions int
+	// Parallelism is the number of worker goroutines exploring
+	// concurrently (0 or 1 = sequential). DFS mode shards the subtrees of
+	// the root decision across workers and merges results
+	// deterministically: an exhaustive parallel run returns bit-identical
+	// Executions/Feasible/Pruned/Failures to the sequential run.
+	// RandomWalk mode shards the walk count, with each worker drawing
+	// from an independent seed derived from Seed. When Parallelism > 1
+	// the OnRunStart and OnExecution hooks must be safe for concurrent
+	// use (each call still receives a distinct *System).
+	Parallelism int
 	// MaxSteps bounds the visible operations per execution; runs that
 	// exceed it are pruned as infeasible. 0 uses a default of 4000.
 	MaxSteps int
@@ -49,6 +59,11 @@ type Config struct {
 	// mo-latest store — i.e. explores only sequentially-consistent
 	// executions. Used by the ablation benchmarks.
 	DisableStaleReads bool
+	// DisableSleepSet turns off the sleep-set partial-order reduction:
+	// every enabled thread stays a scheduling candidate. Exhaustive but
+	// slower; used by soundness tests that compare outcome sets with the
+	// reduction on vs off.
+	DisableSleepSet bool
 	// DisableLifetimeCheck turns off the unpublished-memory built-in
 	// check, the equivalent of silencing CDSChecker's uninitialized-load
 	// report (the paper does this in §6.4.1 to let the Chase-Lev bug
@@ -157,9 +172,10 @@ type decision struct {
 
 // dfsChooser replays a decision prefix and extends it depth-first.
 type dfsChooser struct {
-	decisions []decision
-	depth     int
-	disableRF bool
+	decisions    []decision
+	depth        int
+	disableRF    bool
+	disableSleep bool
 }
 
 func (d *dfsChooser) choose(n int, kind byte) int {
@@ -188,7 +204,7 @@ func (d *dfsChooser) choose(n int, kind byte) int {
 func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	var cands []int
 	for _, t := range enabled {
-		if t.state != tsYield && s.sleep.asleep(t.id) {
+		if !d.disableSleep && t.state != tsYield && s.sleep.asleep(t.id) {
 			continue
 		}
 		cands = append(cands, t.id)
@@ -205,10 +221,12 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	if d.depth < len(d.decisions) {
 		nd := &d.decisions[d.depth]
 		d.depth++
-		for _, tid := range nd.explored {
-			t := s.threads[tid]
-			if t.state != tsYield {
-				s.sleep.sleep(tid, t.pendSig)
+		if !d.disableSleep {
+			for _, tid := range nd.explored {
+				t := s.threads[tid]
+				if t.state != tsYield {
+					s.sleep.sleep(tid, t.pendSig)
+				}
 			}
 		}
 		return s.threads[nd.cands[nd.chosen]]
@@ -220,8 +238,13 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 
 // advance moves to the next leaf of the decision tree; it reports false
 // when the space is exhausted.
-func (d *dfsChooser) advance() bool {
-	for i := len(d.decisions) - 1; i >= 0; i-- {
+func (d *dfsChooser) advance() bool { return d.advanceFrom(0) }
+
+// advanceFrom is advance restricted to decisions at depth >= floor; the
+// prefix below floor is frozen. The parallel explorer uses it to keep a
+// worker inside its assigned subtree.
+func (d *dfsChooser) advanceFrom(floor int) bool {
+	for i := len(d.decisions) - 1; i >= floor; i-- {
 		nd := &d.decisions[i]
 		if nd.kind == 's' {
 			nd.explored = append(nd.explored, nd.cands[nd.chosen])
@@ -282,51 +305,75 @@ func (r *randChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	return enabled[r.rng.Intn(len(enabled))]
 }
 
+// record folds a failure into the result, retaining at most maxFailures.
+func (r *Result) record(f *Failure, maxFailures int) {
+	r.FailureCount++
+	if len(r.Failures) < maxFailures {
+		r.Failures = append(r.Failures, f)
+	}
+}
+
+// runOne performs one execution under ch and folds it into res, using
+// res.Executions as the 1-based execution index. It reports whether the
+// execution failed.
+func runOne(c *Config, res *Result, ch chooser, root func(*Thread)) bool {
+	res.Executions++
+	sys := runExecution(c, ch, root, res.Executions)
+	switch {
+	case sys.pruned:
+		res.Pruned++
+		return false
+	case sys.failure != nil:
+		res.record(sys.failure, c.MaxFailures)
+		return true
+	default:
+		res.Feasible++
+		if c.OnExecution != nil {
+			fails := c.OnExecution(sys)
+			for _, f := range fails {
+				if f.Execution == 0 {
+					f.Execution = res.Executions
+				}
+				res.record(f, c.MaxFailures)
+			}
+			return len(fails) > 0
+		}
+		return false
+	}
+}
+
+// randomWalkBudget returns the number of random-walk executions to run,
+// honoring MaxExecutions.
+func (c *Config) randomWalkBudget() int {
+	n := c.RandomWalk
+	if c.MaxExecutions > 0 && c.MaxExecutions < n {
+		n = c.MaxExecutions
+	}
+	return n
+}
+
+// newDFSChooser builds a chooser for exhaustive exploration under c.
+func newDFSChooser(c *Config) *dfsChooser {
+	return &dfsChooser{disableRF: c.DisableStaleReads, disableSleep: c.DisableSleepSet}
+}
+
 // Explore enumerates executions of root under cfg and returns the
 // aggregated result.
 func Explore(cfg Config, root func(*Thread)) *Result {
 	c := cfg.withDefaults()
+	if c.Parallelism > 1 {
+		return exploreParallel(c, root)
+	}
 	res := &Result{}
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
 
-	record := func(f *Failure) {
-		res.FailureCount++
-		if len(res.Failures) < c.MaxFailures {
-			res.Failures = append(res.Failures, f)
-		}
-	}
-
-	runOne := func(ch chooser) bool {
-		res.Executions++
-		sys := runExecution(c, ch, root, res.Executions)
-		switch {
-		case sys.pruned:
-			res.Pruned++
-			return false
-		case sys.failure != nil:
-			record(sys.failure)
-			return true
-		default:
-			res.Feasible++
-			if c.OnExecution != nil {
-				fails := c.OnExecution(sys)
-				for _, f := range fails {
-					if f.Execution == 0 {
-						f.Execution = res.Executions
-					}
-					record(f)
-				}
-				return len(fails) > 0
-			}
-			return false
-		}
-	}
-
 	if c.RandomWalk > 0 {
 		rng := rand.New(rand.NewSource(c.Seed))
-		for i := 0; i < c.RandomWalk; i++ {
-			failed := runOne(&randChooser{rng: rng, disableRF: c.DisableStaleReads})
+		walks := c.randomWalkBudget()
+		ch := &randChooser{rng: rng, disableRF: c.DisableStaleReads}
+		for i := 0; i < walks; i++ {
+			failed := runOne(c, res, ch, root)
 			if failed && c.StopAtFirst {
 				return res
 			}
@@ -334,9 +381,9 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 		return res
 	}
 
-	d := &dfsChooser{disableRF: c.DisableStaleReads}
+	d := newDFSChooser(c)
 	for {
-		failed := runOne(d)
+		failed := runOne(c, res, d, root)
 		if failed && c.StopAtFirst {
 			return res
 		}
@@ -447,22 +494,70 @@ func (s *System) wakeLastResort() bool {
 // fairness assumption). Otherwise the stuck state is a genuine deadlock or
 // livelock.
 func (s *System) reportStuck() {
-	kind := FailDeadlock
-	msg := "deadlock: threads blocked on locks/joins that cannot be satisfied"
+	blocked := false
+	spinning := false
 	for _, t := range s.threads {
-		if t.state != tsYield {
-			continue
-		}
-		kind = FailLivelock
-		msg = "livelock: a spin loop can never be satisfied"
-		for _, rr := range t.recentReads {
-			if rr.loc.lastStoreIdx() > rr.rfMO {
-				// Unfair: prune without reporting.
-				s.pruned = true
-				s.aborted = true
-				return
+		switch t.state {
+		case tsLock, tsJoin:
+			blocked = true
+		case tsYield:
+			spinning = true
+			for _, rr := range t.recentReads {
+				if rr.loc.lastStoreIdx() > rr.rfMO {
+					// Unfair: prune without reporting.
+					s.pruned = true
+					s.aborted = true
+					return
+				}
 			}
 		}
+	}
+	// Classify by wait chains: a blocked thread whose wait bottoms out in
+	// a yielded spinner (a join on the spinner, a lock held by it, or a
+	// chain thereof) is a casualty of the livelock; a block that cannot
+	// be traced to a spinner — a lock cycle, a mutex held by a finished
+	// thread — is a genuine deadlock even when an unrelated fair spinner
+	// is also stuck.
+	spinStuck := map[int]bool{}
+	for _, t := range s.threads {
+		if t.state == tsYield {
+			spinStuck[t.id] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range s.threads {
+			if spinStuck[t.id] {
+				continue
+			}
+			switch t.state {
+			case tsJoin:
+				if spinStuck[t.waitThread.id] {
+					spinStuck[t.id] = true
+					changed = true
+				}
+			case tsLock:
+				if o := t.waitMutex.owner; o >= 0 && spinStuck[o] {
+					spinStuck[t.id] = true
+					changed = true
+				}
+			}
+		}
+	}
+	kind := FailLivelock
+	msg := "livelock: a spin loop can never be satisfied"
+	for _, t := range s.threads {
+		if (t.state == tsLock || t.state == tsJoin) && !spinStuck[t.id] {
+			kind = FailDeadlock
+			msg = "deadlock: threads blocked on locks/joins that cannot be satisfied"
+			break
+		}
+	}
+	if !spinning && !blocked {
+		// Unreachable in practice (reportStuck runs only when threads are
+		// stuck), but keep the deadlock default for safety.
+		kind = FailDeadlock
+		msg = "deadlock: no thread can make progress"
 	}
 	if s.failure == nil {
 		s.failure = &Failure{

@@ -1,0 +1,248 @@
+package checker
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements parallel exploration (Config.Parallelism > 1).
+//
+// RandomWalk mode shards the walk count across workers; every execution
+// already owns a private System, so only the Result merge matters.
+//
+// DFS mode uses prefix-sharding: one probe execution expands the root
+// decision node, then each of its subtrees — a frozen one-decision
+// prefix — becomes a task run by an ordinary replay-based dfsChooser
+// restricted with advanceFrom(1). Merging the per-subtree results in
+// branch order (with execution indices offset by the cumulative count of
+// earlier branches) reproduces the sequential DFS output bit-for-bit on
+// exhaustive runs, because sequential DFS visits exactly those subtrees
+// in that order.
+
+// exploreParallel is Explore for Parallelism > 1. c has defaults applied.
+func exploreParallel(c *Config, root func(*Thread)) *Result {
+	start := time.Now()
+	var res *Result
+	if c.RandomWalk > 0 {
+		res = parallelRandomWalk(c, root)
+	} else {
+		res = parallelDFS(c, root)
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// bounds is the shared execution budget and cancellation state of a
+// parallel exploration.
+type bounds struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	// max bounds total executions (0 = unlimited); executed counts
+	// reservations made so far.
+	max      int64
+	executed atomic.Int64
+}
+
+func newBounds(maxExecutions, already int) *bounds {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &bounds{ctx: ctx, cancel: cancel, max: int64(maxExecutions)}
+	b.executed.Store(int64(already))
+	return b
+}
+
+// tryStart reserves budget for one execution. Reserving before running
+// makes the total number of executions across all workers exactly equal
+// the bound.
+func (b *bounds) tryStart() bool {
+	if b.ctx.Err() != nil {
+		return false
+	}
+	if b.max > 0 && b.executed.Add(1) > b.max {
+		return false
+	}
+	return true
+}
+
+// stopped reports whether the exploration was cancelled (StopAtFirst).
+func (b *bounds) stopped() bool { return b.ctx.Err() != nil }
+
+// runPool runs tasks 0..tasks-1 on at most workers goroutines and waits
+// for all of them.
+func runPool(workers, tasks int, run func(task int)) {
+	if workers > tasks {
+		workers = tasks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				run(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeInto folds the per-task results into res in task order, offsetting
+// each failure's Execution index by the number of executions that earlier
+// tasks (and the probe, already in res) contributed. On exhaustive DFS
+// runs this reproduces the sequential numbering exactly.
+func mergeInto(res *Result, locals []*Result, maxFailures int) {
+	for _, local := range locals {
+		if local == nil {
+			continue
+		}
+		for _, f := range local.Failures {
+			f.Execution += res.Executions
+		}
+		res.Failures = append(res.Failures, local.Failures...)
+		res.Executions += local.Executions
+		res.Feasible += local.Feasible
+		res.Pruned += local.Pruned
+		res.FailureCount += local.FailureCount
+	}
+	// Each task capped its retained failures locally; re-cap the ordered
+	// concatenation so the merged result keeps the first MaxFailures,
+	// just as a sequential run would.
+	if len(res.Failures) > maxFailures {
+		res.Failures = res.Failures[:maxFailures]
+	}
+}
+
+// parallelRandomWalk shards the walk budget across Parallelism workers,
+// each drawing from an independent seed derived from Seed.
+func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
+	res := &Result{}
+	total := c.randomWalkBudget()
+	if total <= 0 {
+		return res
+	}
+	workers := c.Parallelism
+	if workers > total {
+		workers = total
+	}
+	b := newBounds(0, 0)
+	defer b.cancel()
+	locals := make([]*Result, workers)
+	runPool(workers, workers, func(w int) {
+		count := total / workers
+		if w < total%workers {
+			count++
+		}
+		// A fixed odd multiplier (Weyl/Knuth constant) spreads the
+		// per-worker seeds far apart even for adjacent base seeds.
+		seed := int64(uint64(c.Seed) + uint64(w+1)*0x9E3779B97F4A7C15)
+		ch := &randChooser{rng: rand.New(rand.NewSource(seed)), disableRF: c.DisableStaleReads}
+		local := &Result{}
+		locals[w] = local
+		for i := 0; i < count; i++ {
+			if b.stopped() {
+				return
+			}
+			failed := runOne(c, local, ch, root)
+			if failed && c.StopAtFirst {
+				b.cancel()
+				return
+			}
+		}
+	})
+	mergeInto(res, locals, c.MaxFailures)
+	return res
+}
+
+// parallelDFS runs prefix-sharded exhaustive exploration: the probe
+// execution expands the root decision node, then each root branch is
+// explored by its own dfsChooser whose depth-0 decision is frozen.
+func parallelDFS(c *Config, root func(*Thread)) *Result {
+	res := &Result{}
+	probe := newDFSChooser(c)
+	failed := runOne(c, res, probe, root)
+	if failed && c.StopAtFirst {
+		return res
+	}
+	if c.MaxExecutions > 0 && res.Executions >= c.MaxExecutions {
+		return res
+	}
+	if len(probe.decisions) == 0 {
+		// A single deterministic execution: nothing to shard.
+		res.Exhausted = true
+		return res
+	}
+
+	// One task per branch of the root decision. Task 0 continues the
+	// probe's chooser (already positioned on branch 0's first leaf);
+	// task j > 0 starts a fresh chooser whose frozen prefix selects
+	// branch j.
+	rootNode := probe.decisions[0]
+	var branches int
+	if rootNode.kind == 's' {
+		branches = len(rootNode.cands)
+	} else {
+		branches = rootNode.n
+	}
+	choosers := make([]*dfsChooser, branches)
+	choosers[0] = probe
+	for j := 1; j < branches; j++ {
+		d := newDFSChooser(c)
+		if rootNode.kind == 's' {
+			// Branch j runs candidate j with candidates 0..j-1 already
+			// explored, so replay puts them to sleep exactly as the
+			// sequential DFS would when it reaches this branch.
+			cands := append([]int(nil), rootNode.cands...)
+			d.decisions = []decision{{
+				kind:     's',
+				cands:    cands,
+				chosen:   j,
+				explored: append([]int(nil), cands[:j]...),
+			}}
+		} else {
+			d.decisions = []decision{{kind: rootNode.kind, n: rootNode.n, chosen: j}}
+		}
+		choosers[j] = d
+	}
+
+	b := newBounds(c.MaxExecutions, res.Executions)
+	defer b.cancel()
+	locals := make([]*Result, branches)
+	exhausted := make([]bool, branches)
+	runPool(c.Parallelism, branches, func(task int) {
+		d := choosers[task]
+		local := &Result{}
+		locals[task] = local
+		// The probe already ran task 0's first leaf; every other task's
+		// chooser is positioned on an unexplored leaf.
+		needAdvance := task == 0
+		for {
+			if needAdvance && !d.advanceFrom(1) {
+				exhausted[task] = true
+				return
+			}
+			needAdvance = true
+			if !b.tryStart() {
+				return
+			}
+			failed := runOne(c, local, d, root)
+			if failed && c.StopAtFirst {
+				b.cancel()
+				return
+			}
+		}
+	})
+	mergeInto(res, locals, c.MaxFailures)
+	all := true
+	for _, e := range exhausted {
+		all = all && e
+	}
+	res.Exhausted = all && !b.stopped()
+	return res
+}

@@ -7,13 +7,61 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checker"
 	"repro/internal/core"
 	"repro/internal/memmodel"
 )
+
+// Options configures how the harness schedules its independent work
+// items — Figure 8 weakening trials and Figure 7 benchmark rows.
+type Options struct {
+	// Workers bounds the worker pool. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs f(0..n-1) on at most workers goroutines and waits for all
+// of them. Callers write results into index-addressed slots, so the
+// output order is deterministic regardless of scheduling.
+func forEach(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Benchmark bundles one paper benchmark: its spec, parameterized orders,
 // unit tests, and the numbers the paper reports for it.
@@ -78,10 +126,11 @@ type Fig8Row struct {
 	PaperRatePercent                   int
 }
 
-// RatePercent returns the measured detection rate.
+// RatePercent returns the measured detection rate, or 0 when the row had
+// no injections (rendered as "n/a" by FormatFig8).
 func (r Fig8Row) RatePercent() int {
 	if r.Injections == 0 {
-		return 100
+		return 0
 	}
 	return r.Detected * 100 / r.Injections
 }
@@ -89,8 +138,10 @@ func (r Fig8Row) RatePercent() int {
 // RunFig8 runs the §6.4.2 injection experiment: every one-step weakening
 // of every exercised site, classified by the first detection channel in
 // the paper's priority order (built-in, then admissibility, then
-// assertion).
-func (b *Benchmark) RunFig8() Fig8Row {
+// assertion). The trials are independent and run on opts' worker pool;
+// the row is folded in weakening order, so Missed ordering and every
+// count are deterministic.
+func (b *Benchmark) RunFig8(opts Options) Fig8Row {
 	row := Fig8Row{
 		Name:               b.Name,
 		PaperInjections:    b.PaperInjections,
@@ -100,16 +151,20 @@ func (b *Benchmark) RunFig8() Fig8Row {
 		PaperRatePercent:   b.PaperRatePercent,
 	}
 	defaults := b.Orders()
-	for _, weak := range defaults.Weakenings() {
-		row.Injections++
-		var hit *checker.Failure
-		for _, prog := range b.Progs(weak) {
+	weaks := defaults.Weakenings()
+	hits := make([]*checker.Failure, len(weaks))
+	forEach(opts.workerCount(), len(weaks), func(i int) {
+		for _, prog := range b.Progs(weaks[i]) {
 			res := core.Explore(b.Spec(), checker.Config{StopAtFirst: true}, prog)
 			if f := res.FirstFailure(); f != nil {
-				hit = f
+				hits[i] = f
 				break
 			}
 		}
+	})
+	for i, weak := range weaks {
+		row.Injections++
+		hit := hits[i]
 		switch {
 		case hit == nil:
 			row.Missed = append(row.Missed, describeWeakening(defaults, weak))
@@ -125,6 +180,28 @@ func (b *Benchmark) RunFig8() Fig8Row {
 		}
 	}
 	return row
+}
+
+// RunAllFig7 measures every Figure 7 row, exploring the independent rows
+// on opts' worker pool; the returned slice is in Benchmarks() order.
+func RunAllFig7(opts Options) []Fig7Row {
+	bs := Benchmarks()
+	rows := make([]Fig7Row, len(bs))
+	forEach(opts.workerCount(), len(bs), func(i int) {
+		rows[i] = bs[i].RunFig7()
+	})
+	return rows
+}
+
+// RunAllFig8 measures every Figure 8 row in Benchmarks() order. Rows run
+// one at a time; each row's weakening trials use opts' worker pool.
+func RunAllFig8(opts Options) []Fig8Row {
+	bs := Benchmarks()
+	rows := make([]Fig8Row, len(bs))
+	for i, b := range bs {
+		rows[i] = b.RunFig8(opts)
+	}
+	return rows
 }
 
 func describeWeakening(defaults, weak *memmodel.OrderTable) string {
@@ -156,8 +233,12 @@ func FormatFig8(rows []Fig8Row) string {
 	ti, td := 0, 0
 	pi, pd := 0, 0
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %6d %9d %14d %11d %5d%%   (%d/%d/%d/%d/%d%%)\n",
-			r.Name, r.Injections, r.Builtin, r.Admissibility, r.Assertion, r.RatePercent(),
+		rate := "n/a"
+		if r.Injections > 0 {
+			rate = fmt.Sprintf("%d%%", r.RatePercent())
+		}
+		fmt.Fprintf(&b, "%-18s %6d %9d %14d %11d %6s   (%d/%d/%d/%d/%d%%)\n",
+			r.Name, r.Injections, r.Builtin, r.Admissibility, r.Assertion, rate,
 			r.PaperInjections, r.PaperBuiltin, r.PaperAdmissibility, r.PaperAssertion, r.PaperRatePercent)
 		for _, m := range r.Missed {
 			fmt.Fprintf(&b, "%-18s   missed: %s\n", "", m)

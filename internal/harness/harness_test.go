@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
 )
 
 // TestFig7AllBenchmarksClean: every benchmark's primary workload explores
@@ -31,7 +35,7 @@ func TestFig8DetectionRates(t *testing.T) {
 	for _, b := range Benchmarks() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			row := b.RunFig8()
+			row := b.RunFig8(Options{})
 			totalInj += row.Injections
 			totalDet += row.Detected
 			t.Logf("%s: %d/%d detected (builtin %d, admissibility %d, assertion %d; paper %d@%d%%)",
@@ -118,5 +122,51 @@ func TestFormatters(t *testing.T) {
 	kb := FormatKnownBugs([]KnownBugResult{{Name: "B", Detected: true, Channel: "assertion"}})
 	if !strings.Contains(kb, "detected via assertion") {
 		t.Errorf("bad known-bugs table:\n%s", kb)
+	}
+}
+
+// TestFig8ParallelDeterminism: a worker-pool Figure 8 sweep produces a
+// row identical to the sequential sweep (trials are independent and the
+// fold is in weakening order).
+func TestFig8ParallelDeterminism(t *testing.T) {
+	b := BenchmarkByName("SPSC Queue")
+	if b == nil {
+		t.Fatal("SPSC Queue benchmark missing")
+	}
+	seq := b.RunFig8(Options{Workers: 1})
+	par := b.RunFig8(Options{Workers: 4})
+	if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
+		t.Errorf("parallel Fig8 row differs:\n  seq: %+v\n  par: %+v", seq, par)
+	}
+}
+
+// TestMSQueueParallelDFSDeterminism: exhaustive checker-level parallel
+// exploration of the M&S queue workload matches the sequential run
+// exactly (the ISSUE's determinism suite anchor).
+func TestMSQueueParallelDFSDeterminism(t *testing.T) {
+	b := BenchmarkByName("M&S Queue")
+	if b == nil {
+		t.Fatal("M&S Queue benchmark missing")
+	}
+	prog := b.Progs(b.Orders())[0]
+	seq := core.Explore(b.Spec(), checker.Config{}, prog)
+	par := core.Explore(b.Spec(), checker.Config{Parallelism: 4}, prog)
+	if seq.Executions != par.Executions || seq.Feasible != par.Feasible ||
+		seq.Pruned != par.Pruned || seq.Exhausted != par.Exhausted ||
+		seq.FailureCount != par.FailureCount {
+		t.Errorf("parallel exploration differs:\n  seq: %v\n  par: %v", seq, par)
+	}
+}
+
+// TestRatePercentZeroInjections: a row with no injections reports 0 (not
+// 100) and renders as n/a.
+func TestRatePercentZeroInjections(t *testing.T) {
+	r := Fig8Row{Name: "empty"}
+	if got := r.RatePercent(); got != 0 {
+		t.Errorf("RatePercent() = %d for zero injections, want 0", got)
+	}
+	out := FormatFig8([]Fig8Row{r})
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("FormatFig8 should render n/a for zero injections:\n%s", out)
 	}
 }
