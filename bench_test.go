@@ -29,7 +29,7 @@ func benchFig7(b *testing.B, name string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		row := bm.RunFig7()
+		row := bm.RunFig7(harness.Options{Workers: 1})
 		if row.Feasible == 0 {
 			b.Fatalf("no feasible executions for %s", name)
 		}

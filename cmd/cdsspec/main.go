@@ -1,20 +1,28 @@
 // Command cdsspec reproduces the paper's evaluation from the command
 // line:
 //
-//	cdsspec fig7                 regenerate Figure 7 (benchmark results)
-//	cdsspec fig8                 regenerate Figure 8 (bug-injection detection)
+//	cdsspec fig7 [-json]         regenerate Figure 7 (benchmark results)
+//	cdsspec fig8 [-json]         regenerate Figure 8 (bug-injection detection)
 //	cdsspec knownbugs            reproduce the §6.4.1 known bugs
 //	cdsspec overlystrong         reproduce the §6.4.3 overly strong CAS
 //	cdsspec specstats            print the §6.2 specification statistics
 //	cdsspec run <benchmark>      explore one benchmark's unit test
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
+//	cdsspec json <benchmark>     print one execution + stats as JSON
 //	cdsspec list                 list benchmark names
 //	cdsspec all                  run every experiment in sequence
+//
+// Flags: -workers N (global or per-subcommand), and per-subcommand
+// -json (machine-readable output) and -progress (periodic progress to
+// stderr). Subcommand flags go between the subcommand and its
+// positional arguments: cdsspec run -progress "M&S Queue".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/checker"
@@ -22,101 +30,193 @@ import (
 	"repro/internal/harness"
 )
 
-// workers is the -workers flag: worker-pool size for the experiment
-// harness and the parallel explorer (0 = GOMAXPROCS).
-var workers = flag.Int("workers", 0, "worker pool size for experiments (0 = GOMAXPROCS)")
-
-func opts() harness.Options { return harness.Options{Workers: *workers} }
-
 func main() {
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
-	if len(args) < 1 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli carries one invocation's parsed flags and output streams, so run
+// is testable without touching process state.
+type cli struct {
+	stdout, stderr io.Writer
+	workers        int
+	jsonOut        bool
+	progress       bool
+}
+
+func (c *cli) opts() harness.Options {
+	o := harness.Options{Workers: c.workers}
+	if c.progress {
+		o.Progress = func(name string, p checker.Progress) {
+			if p.Final {
+				fmt.Fprintf(c.stderr, "[%s] done: %d executions in %v (%.0f exec/s)\n",
+					name, p.Executions, p.Elapsed.Round(timeUnit), p.ExecsPerSec)
+				return
+			}
+			line := fmt.Sprintf("[%s] %d executions (%d feasible, %d pruned, %d failures) %.0f exec/s",
+				name, p.Executions, p.Feasible, p.Pruned, p.Failures, p.ExecsPerSec)
+			if p.ETA > 0 {
+				line += fmt.Sprintf(", ETA %v", p.ETA.Round(timeUnit))
+			}
+			fmt.Fprintln(c.stderr, line)
+		}
 	}
-	switch args[0] {
+	return o
+}
+
+const timeUnit = 1e6 // round displayed durations to milliseconds
+
+func run(args []string, stdout, stderr io.Writer) int {
+	c := &cli{stdout: stdout, stderr: stderr}
+	global := flag.NewFlagSet("cdsspec", flag.ContinueOnError)
+	global.SetOutput(stderr)
+	global.Usage = func() { usage(stderr) }
+	globalWorkers := global.Int("workers", 0, "worker pool size for experiments (0 = GOMAXPROCS)")
+	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	c.workers = *globalWorkers
+	rest := global.Args()
+	if len(rest) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd := rest[0]
+
+	// The global flag.Parse stops at the first non-flag argument, so
+	// trailing flags (cdsspec fig7 -json) need a second, per-subcommand
+	// parse over everything after the subcommand name.
+	sub := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	sub.SetOutput(stderr)
+	subWorkers := sub.Int("workers", c.workers, "worker pool size (0 = GOMAXPROCS)")
+	sub.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
+	sub.BoolVar(&c.progress, "progress", false, "print periodic exploration progress to stderr")
+	if err := sub.Parse(rest[1:]); err != nil {
+		return 2
+	}
+	c.workers = *subWorkers
+	pos := sub.Args()
+
+	switch cmd {
 	case "fig7":
-		fig7()
+		return c.fig7()
 	case "fig8":
-		fig8()
+		return c.fig8()
 	case "knownbugs":
-		knownBugs()
+		c.knownBugs()
 	case "overlystrong":
-		overlyStrong()
+		c.overlyStrong()
 	case "specstats":
-		specStats()
+		c.specStats()
 	case "list":
 		for _, b := range harness.Benchmarks() {
-			fmt.Println(b.Name)
+			fmt.Fprintln(c.stdout, b.Name)
 		}
 	case "run":
-		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "usage: cdsspec [-workers N] run <benchmark>")
-			os.Exit(2)
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec run [-workers N] [-json] [-progress] <benchmark>")
+			return 2
 		}
-		runOne(args[1])
+		return c.runOne(pos[0])
 	case "dot":
-		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "usage: cdsspec dot <benchmark>")
-			os.Exit(2)
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec dot <benchmark>")
+			return 2
 		}
-		dotOne(args[1])
+		return c.dotOne(pos[0])
+	case "json":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec json [-progress] <benchmark>")
+			return 2
+		}
+		return c.jsonOne(pos[0])
 	case "all":
-		fig7()
-		fmt.Println()
-		fig8()
-		fmt.Println()
-		knownBugs()
-		fmt.Println()
-		overlyStrong()
-		fmt.Println()
-		specStats()
+		if code := c.fig7(); code != 0 {
+			return code
+		}
+		fmt.Fprintln(c.stdout)
+		if code := c.fig8(); code != 0 {
+			return code
+		}
+		fmt.Fprintln(c.stdout)
+		c.knownBugs()
+		fmt.Fprintln(c.stdout)
+		c.overlyStrong()
+		fmt.Fprintln(c.stdout)
+		c.specStats()
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|list|all}")
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|list|all} [-json] [-progress]")
 }
 
-func fig7() {
-	fmt.Println("=== Figure 7: benchmark results ===")
-	fmt.Print(harness.FormatFig7(harness.RunAllFig7(opts())))
+// unknownBenchmark reports an unrecognized benchmark name, listing the
+// valid ones so the caller need not guess.
+func unknownBenchmark(w io.Writer, name string) int {
+	fmt.Fprintf(w, "unknown benchmark %q; available benchmarks:\n", name)
+	for _, b := range harness.Benchmarks() {
+		fmt.Fprintf(w, "  %s\n", b.Name)
+	}
+	return 2
 }
 
-func fig8() {
-	fmt.Println("=== Figure 8: bug injection detection ===")
-	fmt.Print(harness.FormatFig8(harness.RunAllFig8(opts())))
+func (c *cli) fig7() int {
+	rows := harness.RunAllFig7(c.opts())
+	if c.jsonOut {
+		return c.emitSnapshot(rows, nil)
+	}
+	fmt.Fprintln(c.stdout, "=== Figure 7: benchmark results ===")
+	fmt.Fprint(c.stdout, harness.FormatFig7(rows))
+	return 0
 }
 
-func knownBugs() {
-	fmt.Println("=== §6.4.1: known bugs ===")
-	fmt.Print(harness.FormatKnownBugs(harness.RunKnownBugs()))
+func (c *cli) fig8() int {
+	rows := harness.RunAllFig8(c.opts())
+	if c.jsonOut {
+		return c.emitSnapshot(nil, rows)
+	}
+	fmt.Fprintln(c.stdout, "=== Figure 8: bug injection detection ===")
+	fmt.Fprint(c.stdout, harness.FormatFig8(rows))
+	return 0
 }
 
-func overlyStrong() {
-	fmt.Println("=== §6.4.3: overly strong parameter (Chase-Lev take CAS -> relaxed) ===")
+func (c *cli) emitSnapshot(fig7 []harness.Fig7Row, fig8 []harness.Fig8Row) int {
+	blob, err := harness.SnapshotJSON(fig7, fig8)
+	if err != nil {
+		fmt.Fprintf(c.stderr, "encoding snapshot: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(c.stdout, string(blob))
+	return 0
+}
+
+func (c *cli) knownBugs() {
+	fmt.Fprintln(c.stdout, "=== §6.4.1: known bugs ===")
+	fmt.Fprint(c.stdout, harness.FormatKnownBugs(harness.RunKnownBugs()))
+}
+
+func (c *cli) overlyStrong() {
+	fmt.Fprintln(c.stdout, "=== §6.4.3: overly strong parameter (Chase-Lev take CAS -> relaxed) ===")
 	r := harness.RunOverlyStrong()
-	fmt.Printf("executions=%d feasible=%d violations=%d\n", r.Executions, r.Feasible, r.Violations)
+	fmt.Fprintf(c.stdout, "executions=%d feasible=%d violations=%d\n", r.Executions, r.Feasible, r.Violations)
 	if r.Violations == 0 {
-		fmt.Println("no specification violation: the seq_cst CAS on top is overly strong (authors confirmed)")
+		fmt.Fprintln(c.stdout, "no specification violation: the seq_cst CAS on top is overly strong (authors confirmed)")
 	}
 }
 
-func specStats() {
-	fmt.Println("=== §6.2: specification statistics ===")
-	fmt.Print(harness.FormatSpecStats(harness.RunSpecStats()))
+func (c *cli) specStats() {
+	fmt.Fprintln(c.stdout, "=== §6.2: specification statistics ===")
+	fmt.Fprint(c.stdout, harness.FormatSpecStats(harness.RunSpecStats()))
 }
 
-func dotOne(name string) {
+func (c *cli) dotOne(name string) int {
 	b := harness.BenchmarkByName(name)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try: cdsspec list\n", name)
-		os.Exit(2)
+		return unknownBenchmark(c.stderr, name)
 	}
 	// The first DFS paths may be pruned (fairness); capture the first
 	// feasible execution and stop shortly after.
@@ -133,17 +233,54 @@ func dotOne(name string) {
 	}
 	cfg.StopAtFirst = true
 	core.Explore(b.Spec(), cfg, b.Progs(b.Orders())[0])
-	fmt.Print(dot)
+	fmt.Fprint(c.stdout, dot)
+	return 0
 }
 
-func runOne(name string) {
+// jsonOne explores the benchmark's primary unit test to completion and
+// prints a JSON document holding the full Result (with Stats) plus the
+// machine-readable trace of the first feasible execution.
+func (c *cli) jsonOne(name string) int {
 	b := harness.BenchmarkByName(name)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; try: cdsspec list\n", name)
-		os.Exit(2)
+		return unknownBenchmark(c.stderr, name)
 	}
-	row := b.RunFig7()
-	fmt.Print(harness.FormatFig7([]harness.Fig7Row{row}))
-	f8 := b.RunFig8(opts())
-	fmt.Print(harness.FormatFig8([]harness.Fig8Row{f8}))
+	var trace json.RawMessage
+	cfg := c.opts().ExplorerConfig(b.Name)
+	cfg.OnExecution = func(sys *checker.System) []*checker.Failure {
+		if trace == nil {
+			if blob, err := checker.ExportJSON(sys); err == nil {
+				trace = blob
+			}
+		}
+		return nil
+	}
+	res := core.Explore(b.Spec(), cfg, b.Progs(b.Orders())[0])
+	out := struct {
+		Benchmark string          `json:"benchmark"`
+		Result    *checker.Result `json:"result"`
+		Trace     json.RawMessage `json:"trace,omitempty"`
+	}{Benchmark: b.Name, Result: res, Trace: trace}
+	blob, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(c.stderr, "encoding result: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(c.stdout, string(blob))
+	return 0
+}
+
+func (c *cli) runOne(name string) int {
+	b := harness.BenchmarkByName(name)
+	if b == nil {
+		return unknownBenchmark(c.stderr, name)
+	}
+	row := b.RunFig7(c.opts())
+	f8 := b.RunFig8(c.opts())
+	if c.jsonOut {
+		return c.emitSnapshot([]harness.Fig7Row{row}, []harness.Fig8Row{f8})
+	}
+	fmt.Fprint(c.stdout, harness.FormatFig7([]harness.Fig7Row{row}))
+	fmt.Fprint(c.stdout, harness.FormatFig8([]harness.Fig8Row{f8}))
+	return 0
 }

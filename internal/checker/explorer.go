@@ -75,6 +75,20 @@ type Config struct {
 	// OnExecution runs after every feasible (completed) execution and
 	// returns any specification failures found in it.
 	OnExecution func(sys *System) []*Failure
+	// Progress, when set, receives a periodic snapshot of the running
+	// exploration every ProgressInterval, plus a closing snapshot with
+	// Final set whose counts equal the returned Result. It is invoked
+	// from a dedicated goroutine (and, for the final snapshot, from the
+	// Explore caller), never concurrently with itself.
+	Progress func(Progress)
+	// ProgressInterval is the delivery period for Progress snapshots
+	// (default 1s).
+	ProgressInterval time.Duration
+
+	// progress is the live tracker behind the Progress callback, shared
+	// by every worker of this exploration. Explore installs it on its
+	// private withDefaults copy.
+	progress *progressTracker
 }
 
 func (c *Config) withDefaults() *Config {
@@ -91,6 +105,9 @@ func (c *Config) withDefaults() *Config {
 	if out.TraceLimit == 0 {
 		out.TraceLimit = 64
 	}
+	if out.ProgressInterval == 0 {
+		out.ProgressInterval = time.Second
+	}
 	return &out
 }
 
@@ -98,22 +115,27 @@ func (c *Config) withDefaults() *Config {
 type Result struct {
 	// Executions is the total number of executions explored, feasible
 	// or not.
-	Executions int
+	Executions int `json:"executions"`
 	// Feasible is the number of executions that ran to completion and
 	// were handed to the specification checker.
-	Feasible int
-	// Pruned is the number of abandoned executions (livelock fairness,
-	// step bound).
-	Pruned int
+	Feasible int `json:"feasible"`
+	// Pruned is the number of abandoned executions (sleep-set redundancy,
+	// livelock fairness, step bound); Stats splits it by reason.
+	Pruned int `json:"pruned"`
 	// Failures holds detected failures, capped at Config.MaxFailures.
-	Failures []*Failure
+	Failures []*Failure `json:"failures,omitempty"`
 	// FailureCount counts all failures, including ones not retained.
-	FailureCount int
-	// Elapsed is the wall-clock exploration time.
-	Elapsed time.Duration
+	FailureCount int `json:"failure_count"`
+	// Elapsed is the wall-clock exploration time. Under Parallelism it is
+	// still wall clock — never a per-worker sum folded through the merge.
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Exhausted reports whether the decision space was fully explored
 	// (false when MaxExecutions or StopAtFirst cut it short).
-	Exhausted bool
+	Exhausted bool `json:"exhausted"`
+	// Stats breaks down where the executions and time went. On exhaustive
+	// runs every field except the timings is bit-identical between
+	// sequential and parallel exploration.
+	Stats Stats `json:"stats"`
 }
 
 // HasKind reports whether any recorded failure has the given kind.
@@ -176,6 +198,33 @@ type dfsChooser struct {
 	depth        int
 	disableRF    bool
 	disableSleep bool
+	// stats receives decision counters; the explorer points it at the
+	// Result the chooser's executions are folded into. Fresh decision
+	// nodes count as branch points, replayed ones as ReplayedDecisions —
+	// tallies that match sequential DFS exactly when a parallel worker
+	// replays a frozen prefix, because the worker's stack is the same
+	// stack sequential DFS holds inside that subtree.
+	stats *Stats
+}
+
+// noteDecision updates the branch/replay counters for one decision with
+// n > 1 alternatives. fresh marks a newly opened node; sched selects the
+// schedule counter over the reads-from one.
+func (d *dfsChooser) noteDecision(fresh, sched bool) {
+	if d.stats == nil {
+		return
+	}
+	switch {
+	case !fresh:
+		d.stats.ReplayedDecisions++
+	case sched:
+		d.stats.ScheduleBranchPoints++
+	default:
+		d.stats.RFBranchPoints++
+	}
+	if d.depth > d.stats.MaxDecisionDepth {
+		d.stats.MaxDecisionDepth = d.depth
+	}
 }
 
 func (d *dfsChooser) choose(n int, kind byte) int {
@@ -194,10 +243,14 @@ func (d *dfsChooser) choose(n int, kind byte) int {
 	if d.depth < len(d.decisions) {
 		c := d.decisions[d.depth].chosen
 		d.depth++
+		d.noteDecision(false, false)
 		return c
 	}
 	d.decisions = append(d.decisions, decision{n: n, chosen: 0, kind: kind})
 	d.depth++
+	// 'l' (last-resort spinner wake) is a scheduling choice; 'r'/'c' are
+	// value choices.
+	d.noteDecision(true, kind == 'l')
 	return 0
 }
 
@@ -221,6 +274,7 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	if d.depth < len(d.decisions) {
 		nd := &d.decisions[d.depth]
 		d.depth++
+		d.noteDecision(false, true)
 		if !d.disableSleep {
 			for _, tid := range nd.explored {
 				t := s.threads[tid]
@@ -233,6 +287,7 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	}
 	d.decisions = append(d.decisions, decision{kind: 's', cands: cands})
 	d.depth++
+	d.noteDecision(true, true)
 	return s.threads[cands[0]]
 }
 
@@ -286,6 +341,7 @@ func contains(xs []int, x int) bool {
 type randChooser struct {
 	rng       *rand.Rand
 	disableRF bool
+	stats     *Stats
 }
 
 func (r *randChooser) choose(n int, kind byte) int {
@@ -298,10 +354,22 @@ func (r *randChooser) choose(n int, kind byte) int {
 		}
 		return 0
 	}
+	if r.stats != nil {
+		// Random walks never replay, so every multi-way decision is a
+		// branch point.
+		if kind == 'l' {
+			r.stats.ScheduleBranchPoints++
+		} else {
+			r.stats.RFBranchPoints++
+		}
+	}
 	return r.rng.Intn(n)
 }
 
 func (r *randChooser) pickThread(s *System, enabled []*Thread) *Thread {
+	if r.stats != nil && len(enabled) > 1 {
+		r.stats.ScheduleBranchPoints++
+	}
 	return enabled[r.rng.Intn(len(enabled))]
 }
 
@@ -318,28 +386,54 @@ func (r *Result) record(f *Failure, maxFailures int) {
 // execution failed.
 func runOne(c *Config, res *Result, ch chooser, root func(*Thread)) bool {
 	res.Executions++
+	exploreStart := time.Now()
 	sys := runExecution(c, ch, root, res.Executions)
+	res.Stats.ExploreTime += time.Since(exploreStart)
+	res.Stats.TotalSteps += sys.stepCount
+
+	failed := false
+	failures := 0
 	switch {
 	case sys.pruned:
 		res.Pruned++
-		return false
+		switch sys.pruneReason {
+		case pruneFairness:
+			res.Stats.PrunedFairness++
+		case pruneStepBound:
+			res.Stats.PrunedStepBound++
+		default:
+			res.Stats.PrunedSleepSet++
+		}
 	case sys.failure != nil:
 		res.record(sys.failure, c.MaxFailures)
-		return true
+		failed = true
+		failures = 1
 	default:
 		res.Feasible++
 		if c.OnExecution != nil {
+			specStart := time.Now()
 			fails := c.OnExecution(sys)
+			res.Stats.SpecTime += time.Since(specStart)
+			res.Stats.Histories += sys.specHistories
+			if sys.specHistoriesCapped {
+				res.Stats.HistoriesCapped++
+			}
+			res.Stats.AdmissibilityChecks += sys.specAdmissibility
+			res.Stats.JustifySearches += sys.specJustify
 			for _, f := range fails {
 				if f.Execution == 0 {
 					f.Execution = res.Executions
 				}
 				res.record(f, c.MaxFailures)
 			}
-			return len(fails) > 0
+			failed = len(fails) > 0
+			failures = len(fails)
 		}
-		return false
 	}
+	if c.progress != nil {
+		c.progress.observe(!sys.pruned && sys.failure == nil, sys.pruned, failures)
+	}
+	return failed
 }
 
 // randomWalkBudget returns the number of random-walk executions to run,
@@ -361,6 +455,10 @@ func newDFSChooser(c *Config) *dfsChooser {
 // aggregated result.
 func Explore(cfg Config, root func(*Thread)) *Result {
 	c := cfg.withDefaults()
+	if c.Progress != nil {
+		c.progress = newProgressTracker(c.Progress, c.ProgressInterval, c.MaxExecutions)
+		defer c.progress.close()
+	}
 	if c.Parallelism > 1 {
 		return exploreParallel(c, root)
 	}
@@ -371,7 +469,7 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 	if c.RandomWalk > 0 {
 		rng := rand.New(rand.NewSource(c.Seed))
 		walks := c.randomWalkBudget()
-		ch := &randChooser{rng: rng, disableRF: c.DisableStaleReads}
+		ch := &randChooser{rng: rng, disableRF: c.DisableStaleReads, stats: &res.Stats}
 		for i := 0; i < walks; i++ {
 			failed := runOne(c, res, ch, root)
 			if failed && c.StopAtFirst {
@@ -382,6 +480,7 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 	}
 
 	d := newDFSChooser(c)
+	d.stats = &res.Stats
 	for {
 		failed := runOne(c, res, d, root)
 		if failed && c.StopAtFirst {
@@ -423,6 +522,7 @@ func runExecution(cfg *Config, ch chooser, root func(*Thread), execIndex int) *S
 		t := ch.pickThread(sys, enabled)
 		if t == nil {
 			sys.pruned = true
+			sys.pruneReason = pruneSleepSet
 			sys.aborted = true
 			break
 		}
@@ -506,6 +606,7 @@ func (s *System) reportStuck() {
 				if rr.loc.lastStoreIdx() > rr.rfMO {
 					// Unfair: prune without reporting.
 					s.pruned = true
+					s.pruneReason = pruneFairness
 					s.aborted = true
 					return
 				}
@@ -564,6 +665,7 @@ func (s *System) reportStuck() {
 			Kind:      kind,
 			Msg:       msg,
 			Execution: s.execIndex,
+			ActionID:  s.lastActionID(),
 			Trace:     s.TraceString(s.cfg.TraceLimit),
 		}
 	}

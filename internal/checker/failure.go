@@ -30,6 +30,12 @@ const (
 	// FailAPIMisuse is an incorrect use of the checker API itself
 	// (unlocking a mutex the thread does not hold, etc.).
 	FailAPIMisuse
+
+	// numFailureKinds counts the kinds above. Keep it last: the
+	// exhaustiveness tests iterate 0..numFailureKinds-1 to catch a new
+	// kind that silently falls through to the String() default or lands
+	// in the wrong Figure 8 channel.
+	numFailureKinds
 )
 
 // String returns a short name for the failure kind.
@@ -67,17 +73,49 @@ func (k FailureKind) BuiltIn() bool {
 	return false
 }
 
+// Channel names the Figure 8 detection channel a failure of this kind is
+// counted under: "builtin" for CDSChecker's built-in checks,
+// "admissibility" for the CDSSpec warning channel, "assertion" for user
+// assertions and specification violations, and "none" for kinds that
+// must never surface as failures at all (a FailTooManySteps run is
+// pruned, not reported). The harness classifies by this method so a new
+// kind cannot silently land in the wrong column.
+func (k FailureKind) Channel() string {
+	switch {
+	case k == FailTooManySteps:
+		return "none"
+	case k.BuiltIn():
+		return "builtin"
+	case k == FailAdmissibility:
+		return "admissibility"
+	default:
+		return "assertion"
+	}
+}
+
+// MarshalJSON encodes the kind as its String() name, keeping exported
+// JSON stable if the enum is ever reordered.
+func (k FailureKind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
 // Failure describes one detected problem, with enough context to act on.
 type Failure struct {
-	Kind FailureKind
+	Kind FailureKind `json:"kind"`
 	// Msg is a human-readable description.
-	Msg string
+	Msg string `json:"msg"`
 	// Execution is the 1-based index of the execution that exposed the
 	// failure.
-	Execution int
+	Execution int `json:"execution"`
+	// ActionID is the trace ID of the last action recorded when the
+	// failure was detected — the node ExportDOT highlights. 0 means
+	// unknown: action 0 is always the root thread's thread-start, never
+	// itself a failure site. Spec-layer failures (reported after the
+	// execution completes) leave it 0.
+	ActionID int `json:"action_id,omitempty"`
 	// Trace is a rendering of the execution's action trace (may be
 	// truncated).
-	Trace string
+	Trace string `json:"trace,omitempty"`
 }
 
 // Error implements the error interface.

@@ -1,0 +1,79 @@
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestFailureKindExhaustive pins down String/BuiltIn/Channel for every
+// kind. The length check against numFailureKinds forces whoever adds a
+// kind to extend this table (and therefore to decide its Figure 8
+// channel) instead of silently falling through to a default.
+func TestFailureKindExhaustive(t *testing.T) {
+	table := []struct {
+		kind    FailureKind
+		str     string
+		builtin bool
+		channel string
+	}{
+		{FailDataRace, "data-race", true, "builtin"},
+		{FailUninitLoad, "uninitialized-load", true, "builtin"},
+		{FailDeadlock, "deadlock", true, "builtin"},
+		{FailLivelock, "livelock", true, "builtin"},
+		{FailTooManySteps, "step-bound", false, "none"},
+		{FailAssertion, "assertion", false, "assertion"},
+		{FailAdmissibility, "admissibility", false, "admissibility"},
+		{FailAPIMisuse, "api-misuse", false, "assertion"},
+	}
+	if len(table) != int(numFailureKinds) {
+		t.Fatalf("table covers %d kinds but numFailureKinds = %d: a new kind needs a String/BuiltIn/Channel entry here",
+			len(table), numFailureKinds)
+	}
+	for _, tc := range table {
+		if got := tc.kind.String(); got != tc.str {
+			t.Errorf("FailureKind(%d).String() = %q, want %q", tc.kind, got, tc.str)
+		}
+		if strings.HasPrefix(tc.kind.String(), "FailureKind(") {
+			t.Errorf("kind %d fell through to the String() default", tc.kind)
+		}
+		if got := tc.kind.BuiltIn(); got != tc.builtin {
+			t.Errorf("%s.BuiltIn() = %v, want %v", tc.kind, got, tc.builtin)
+		}
+		if got := tc.kind.Channel(); got != tc.channel {
+			t.Errorf("%s.Channel() = %q, want %q", tc.kind, got, tc.channel)
+		}
+		switch tc.kind.Channel() {
+		case "builtin", "admissibility", "assertion", "none":
+		default:
+			t.Errorf("%s.Channel() = %q is not a known Figure 8 channel", tc.kind, tc.kind.Channel())
+		}
+	}
+	// Out-of-range values must be visibly bogus, not masquerade as a
+	// real kind.
+	if got, want := numFailureKinds.String(), fmt.Sprintf("FailureKind(%d)", uint8(numFailureKinds)); got != want {
+		t.Errorf("numFailureKinds.String() = %q, want the %q default", got, want)
+	}
+}
+
+// TestFailureKindJSON: kinds marshal as their stable string names, so
+// exported snapshots survive an enum reorder.
+func TestFailureKindJSON(t *testing.T) {
+	blob, err := json.Marshal(FailDataRace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `"data-race"` {
+		t.Errorf("FailDataRace marshals as %s, want \"data-race\"", blob)
+	}
+	fblob, err := json.Marshal(&Failure{Kind: FailAssertion, Msg: "boom", Execution: 3, ActionID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "assertion"`, `"execution": 3`, `"action_id": 7`} {
+		if !strings.Contains(string(fblob), strings.ReplaceAll(want, ": ", ":")) {
+			t.Errorf("Failure JSON missing %s:\n%s", want, fblob)
+		}
+	}
+}

@@ -31,6 +31,11 @@ func exploreParallel(c *Config, root func(*Thread)) *Result {
 	} else {
 		res = parallelDFS(c, root)
 	}
+	// Elapsed is the parallel run's wall clock, assigned here and only
+	// here; mergeInto deliberately never folds the per-worker timings into
+	// it (a per-worker sum can exceed wall clock by a factor of
+	// Parallelism). The Stats timing fields, by contrast, are cumulative
+	// across workers by design.
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -110,6 +115,7 @@ func mergeInto(res *Result, locals []*Result, maxFailures int) {
 		res.Feasible += local.Feasible
 		res.Pruned += local.Pruned
 		res.FailureCount += local.FailureCount
+		res.Stats.Merge(&local.Stats)
 	}
 	// Each task capped its retained failures locally; re-cap the ordered
 	// concatenation so the merged result keeps the first MaxFailures,
@@ -142,8 +148,8 @@ func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
 		// A fixed odd multiplier (Weyl/Knuth constant) spreads the
 		// per-worker seeds far apart even for adjacent base seeds.
 		seed := int64(uint64(c.Seed) + uint64(w+1)*0x9E3779B97F4A7C15)
-		ch := &randChooser{rng: rand.New(rand.NewSource(seed)), disableRF: c.DisableStaleReads}
 		local := &Result{}
+		ch := &randChooser{rng: rand.New(rand.NewSource(seed)), disableRF: c.DisableStaleReads, stats: &local.Stats}
 		locals[w] = local
 		for i := 0; i < count; i++ {
 			if b.stopped() {
@@ -166,6 +172,7 @@ func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
 func parallelDFS(c *Config, root func(*Thread)) *Result {
 	res := &Result{}
 	probe := newDFSChooser(c)
+	probe.stats = &res.Stats
 	failed := runOne(c, res, probe, root)
 	if failed && c.StopAtFirst {
 		return res
@@ -219,6 +226,10 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 		d := choosers[task]
 		local := &Result{}
 		locals[task] = local
+		// Re-point the chooser's counters at the task-local result (the
+		// probe's were aimed at res); the merge sums them back in branch
+		// order, reproducing the sequential totals.
+		d.stats = &local.Stats
 		// The probe already ran task 0's first leaf; every other task's
 		// chooser is positioned on an unexplored leaf.
 		needAdvance := task == 0

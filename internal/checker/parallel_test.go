@@ -279,8 +279,11 @@ func TestLivelockWithJoiningParent(t *testing.T) {
 // --- Parallel determinism ---------------------------------------------
 
 // compareParallel runs prog exhaustively with Parallelism 1 and n and
-// requires identical Executions/Feasible/Pruned/Exhausted and identical
-// retained failures (kind and execution index).
+// requires identical Executions/Feasible/Pruned/Exhausted, identical
+// retained failures (kind and execution index), and bit-identical Stats —
+// with only the wall-clock fields (Elapsed and the Stats timing split)
+// exempt from identity, since parallel workers accumulate those
+// concurrently.
 func compareParallel(t *testing.T, name string, n int, cfg Config, prog func(*Thread)) {
 	t.Helper()
 	seq := Explore(cfg, prog)
@@ -290,6 +293,20 @@ func compareParallel(t *testing.T, name string, n int, cfg Config, prog func(*Th
 	if seq.Executions != par.Executions || seq.Feasible != par.Feasible ||
 		seq.Pruned != par.Pruned || seq.Exhausted != par.Exhausted {
 		t.Errorf("%s: counts differ: sequential %v, parallel(%d) %v", name, seq, n, par)
+	}
+	if seq.Stats.WithoutTimings() != par.Stats.WithoutTimings() {
+		t.Errorf("%s: stats differ:\n  sequential: %+v\n  parallel(%d): %+v",
+			name, seq.Stats.WithoutTimings(), n, par.Stats.WithoutTimings())
+	}
+	for _, r := range []*Result{seq, par} {
+		if got := r.Stats.PrunedSleepSet + r.Stats.PrunedFairness + r.Stats.PrunedStepBound; got != r.Pruned {
+			t.Errorf("%s: prune-reason split %d does not sum to Pruned %d", name, got, r.Pruned)
+		}
+	}
+	// The timing exemption: both runs still measure real wall clock.
+	if seq.Elapsed <= 0 || par.Elapsed <= 0 || seq.Stats.ExploreTime <= 0 || par.Stats.ExploreTime <= 0 {
+		t.Errorf("%s: timing fields should be positive: seq %v/%v, par %v/%v",
+			name, seq.Elapsed, seq.Stats.ExploreTime, par.Elapsed, par.Stats.ExploreTime)
 	}
 	if seq.FailureCount != par.FailureCount || len(seq.Failures) != len(par.Failures) {
 		t.Errorf("%s: failure counts differ: sequential %v, parallel(%d) %v", name, seq, n, par)

@@ -1,0 +1,119 @@
+package checker
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a periodic snapshot of a running exploration, delivered to
+// Config.Progress every Config.ProgressInterval and once more when the
+// exploration finishes (Final set). Long benchmarks are otherwise silent
+// for minutes; CDSChecker prints per-execution diagnostics for the same
+// reason.
+type Progress struct {
+	// Executions, Feasible, Pruned and Failures mirror the Result fields
+	// for the executions completed so far (across all workers).
+	Executions int
+	Feasible   int
+	Pruned     int
+	Failures   int
+	// Elapsed is the wall clock since the exploration started.
+	Elapsed time.Duration
+	// ExecsPerSec is the average execution rate so far.
+	ExecsPerSec float64
+	// ETA estimates the time remaining to reach Config.MaxExecutions
+	// (zero when the exploration is unbounded or the rate is unknown).
+	// DFS runs may finish earlier by exhausting the space.
+	ETA time.Duration
+	// Final marks the closing snapshot: its counts equal the returned
+	// Result exactly, and it is always delivered, even for explorations
+	// shorter than one interval.
+	Final bool
+}
+
+// progressTracker aggregates per-execution counts from all workers (plain
+// atomics, so runOne stays cheap) and drives a ticker goroutine that
+// invokes the user callback. The callback itself only ever runs on the
+// ticker goroutine or, for the final snapshot, on the Explore caller's
+// goroutine after the ticker is stopped — so it needs no locking of its
+// own.
+type progressTracker struct {
+	fn       func(Progress)
+	maxExecs int
+	start    time.Time
+
+	execs    atomic.Int64
+	feasible atomic.Int64
+	pruned   atomic.Int64
+	fails    atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newProgressTracker(fn func(Progress), interval time.Duration, maxExecs int) *progressTracker {
+	t := &progressTracker{
+		fn:       fn,
+		maxExecs: maxExecs,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go t.loop(interval)
+	return t
+}
+
+func (t *progressTracker) loop(interval time.Duration) {
+	defer close(t.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+			t.fn(t.snapshot(false))
+		}
+	}
+}
+
+// observe folds one completed execution into the tracker.
+func (t *progressTracker) observe(feasible, pruned bool, failures int) {
+	t.execs.Add(1)
+	if feasible {
+		t.feasible.Add(1)
+	}
+	if pruned {
+		t.pruned.Add(1)
+	}
+	if failures > 0 {
+		t.fails.Add(int64(failures))
+	}
+}
+
+func (t *progressTracker) snapshot(final bool) Progress {
+	p := Progress{
+		Executions: int(t.execs.Load()),
+		Feasible:   int(t.feasible.Load()),
+		Pruned:     int(t.pruned.Load()),
+		Failures:   int(t.fails.Load()),
+		Elapsed:    time.Since(t.start),
+		Final:      final,
+	}
+	if secs := p.Elapsed.Seconds(); secs > 0 {
+		p.ExecsPerSec = float64(p.Executions) / secs
+	}
+	if t.maxExecs > 0 && p.ExecsPerSec > 0 && p.Executions < t.maxExecs {
+		p.ETA = time.Duration(float64(t.maxExecs-p.Executions) / p.ExecsPerSec * float64(time.Second))
+	}
+	return p
+}
+
+// close stops the ticker goroutine and delivers the final snapshot from
+// the caller's goroutine, after every worker has finished — so the final
+// counts match the merged Result exactly.
+func (t *progressTracker) close() {
+	close(t.stop)
+	<-t.done
+	t.fn(t.snapshot(true))
+}

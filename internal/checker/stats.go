@@ -1,0 +1,92 @@
+package checker
+
+import "time"
+
+// Stats breaks down where an exploration's executions and time went, the
+// observability layer behind the paper's Figure 7 "seconds per benchmark"
+// claim: without it a partial-order-reduction regression is
+// indistinguishable from a spec-checking slowdown. All counters are
+// bit-identical between an exhaustive sequential run and an exhaustive
+// parallel run (the merge sums them in branch order); only the timing
+// fields differ, since parallel workers accumulate wall clock
+// concurrently.
+type Stats struct {
+	// Prune-reason split of Result.Pruned; the three always sum to it.
+	//
+	// PrunedSleepSet counts interleavings abandoned because every enabled
+	// thread was asleep (the sleep-set reduction proved the suffix
+	// redundant). PrunedFairness counts executions stuck with a spinner
+	// that ignored a newer store (CDSChecker's fairness assumption).
+	// PrunedStepBound counts executions that exceeded Config.MaxSteps.
+	PrunedSleepSet  int `json:"pruned_sleep_set"`
+	PrunedFairness  int `json:"pruned_fairness"`
+	PrunedStepBound int `json:"pruned_step_bound"`
+
+	// RFBranchPoints counts value-nondeterminism decision nodes opened by
+	// the explorer (reads-from choices and CAS outcomes with more than
+	// one alternative) — the real cost driver of weak-memory checking.
+	// ScheduleBranchPoints counts scheduling decision nodes (more than
+	// one runnable candidate, plus last-resort spinner wakes).
+	RFBranchPoints       int `json:"rf_branch_points"`
+	ScheduleBranchPoints int `json:"schedule_branch_points"`
+	// ReplayedDecisions counts decisions re-driven from a recorded prefix
+	// while backtracking (the stateless-replay overhead).
+	ReplayedDecisions int `json:"replayed_decisions"`
+	// MaxDecisionDepth is the deepest decision stack seen.
+	MaxDecisionDepth int `json:"max_decision_depth"`
+	// TotalSteps is the number of visible operations executed across all
+	// executions (including pruned ones).
+	TotalSteps int `json:"total_steps"`
+
+	// Spec-checking counters, reported by the core layer through
+	// System.ReportSpecStats from the OnExecution hook.
+	//
+	// Histories is the number of sequential histories enumerated and
+	// replayed; HistoriesCapped counts executions whose enumeration was
+	// truncated by Spec.MaxHistories before the space was exhausted.
+	Histories       int `json:"histories"`
+	HistoriesCapped int `json:"histories_capped"`
+	// AdmissibilityChecks counts admissibility rule-pair evaluations.
+	AdmissibilityChecks int `json:"admissibility_checks"`
+	// JustifySearches counts justifying-subhistory searches (one per call
+	// whose non-deterministic behavior needed justification).
+	JustifySearches int `json:"justify_searches"`
+
+	// Phase-timing split: wall clock spent running executions vs checking
+	// feasible executions against the specification. Parallel workers
+	// accumulate concurrently, so the sums may exceed Result.Elapsed; both
+	// fields are exempt from parallel-vs-sequential bit-identity.
+	ExploreTime time.Duration `json:"explore_ns"`
+	SpecTime    time.Duration `json:"spec_ns"`
+}
+
+// Merge folds o into s: counters add, depths max, timings add. The
+// parallel explorer merges worker stats with it, and the harness uses it
+// to aggregate stats across independent runs (e.g. Figure 8 trials).
+func (s *Stats) Merge(o *Stats) {
+	s.PrunedSleepSet += o.PrunedSleepSet
+	s.PrunedFairness += o.PrunedFairness
+	s.PrunedStepBound += o.PrunedStepBound
+	s.RFBranchPoints += o.RFBranchPoints
+	s.ScheduleBranchPoints += o.ScheduleBranchPoints
+	s.ReplayedDecisions += o.ReplayedDecisions
+	if o.MaxDecisionDepth > s.MaxDecisionDepth {
+		s.MaxDecisionDepth = o.MaxDecisionDepth
+	}
+	s.TotalSteps += o.TotalSteps
+	s.Histories += o.Histories
+	s.HistoriesCapped += o.HistoriesCapped
+	s.AdmissibilityChecks += o.AdmissibilityChecks
+	s.JustifySearches += o.JustifySearches
+	s.ExploreTime += o.ExploreTime
+	s.SpecTime += o.SpecTime
+}
+
+// WithoutTimings returns a copy with the wall-clock fields zeroed — the
+// form the parallel determinism tests compare, since timing is the only
+// part of Stats allowed to differ between an exhaustive parallel run and
+// its sequential equivalent.
+func (s Stats) WithoutTimings() Stats {
+	s.ExploreTime, s.SpecTime = 0, 0
+	return s
+}

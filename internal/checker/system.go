@@ -37,11 +37,19 @@ type System struct {
 	storeEpoch uint64
 	stepCount  int
 
-	execIndex  int
-	aborted    bool
-	pruned     bool
-	failure    *Failure
-	mutexCount int
+	execIndex   int
+	aborted     bool
+	pruned      bool
+	pruneReason pruneReason
+	failure     *Failure
+	mutexCount  int
+
+	// Spec-checking statistics reported by the core layer through
+	// ReportSpecStats; runOne folds them into Result.Stats.
+	specHistories       int
+	specHistoriesCapped bool
+	specAdmissibility   int
+	specJustify         int
 
 	// sleep is the sleep set of the current exploration subtree.
 	sleep *sleepSet
@@ -61,6 +69,29 @@ func (s *System) Failure() *Failure { return s.failure }
 // exploration.
 func (s *System) ExecIndex() int { return s.execIndex }
 
+// ReportSpecStats lets the specification layer (which sits above this
+// package and cannot be imported from it) report per-execution checking
+// statistics from the OnExecution hook: sequential histories enumerated,
+// whether the enumeration hit the history cap, admissibility rule pairs
+// evaluated, and justifying-subhistory searches run. Calls accumulate.
+func (s *System) ReportSpecStats(histories int, capped bool, admissibilityChecks, justifySearches int) {
+	s.specHistories += histories
+	s.specHistoriesCapped = s.specHistoriesCapped || capped
+	s.specAdmissibility += admissibilityChecks
+	s.specJustify += justifySearches
+}
+
+// pruneReason records why an execution was abandoned without a report,
+// feeding the Stats.Pruned* split.
+type pruneReason uint8
+
+const (
+	pruneNone      pruneReason = iota
+	pruneSleepSet              // every enabled thread asleep: redundant interleaving
+	pruneFairness              // spinner ignored a newer store: unfair execution
+	pruneStepBound             // Config.MaxSteps exceeded
+)
+
 // failf records a failure and abandons the current execution by
 // unwinding the calling simulated thread.
 func (s *System) failf(kind FailureKind, format string, args ...any) {
@@ -69,6 +100,7 @@ func (s *System) failf(kind FailureKind, format string, args ...any) {
 			Kind:      kind,
 			Msg:       fmt.Sprintf(format, args...),
 			Execution: s.execIndex,
+			ActionID:  s.lastActionID(),
 			Trace:     s.TraceString(s.cfg.TraceLimit),
 		}
 	}
@@ -81,6 +113,16 @@ func (s *System) prune() {
 	s.pruned = true
 	s.aborted = true
 	panic(abortRun{})
+}
+
+// lastActionID returns the trace ID of the most recent action, or 0 when
+// the trace is empty (action 0 is always the root thread's thread-start,
+// never itself a failure site, so 0 doubles as "unknown").
+func (s *System) lastActionID() int {
+	if len(s.actions) == 0 {
+		return 0
+	}
+	return s.actions[len(s.actions)-1].ID
 }
 
 // TraceString renders up to limit trailing actions of the trace.
@@ -201,16 +243,16 @@ func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, lo
 }
 
 // bumpStep advances the per-run step counter and prunes runaway runs.
+// A run over the step bound is pruned, never reported: it must count
+// exactly once, as Pruned (with Stats.PrunedStepBound), and never leak a
+// FailTooManySteps into FailureCount or the Figure 8 detection channels.
+// (An earlier version also populated s.failure here, relying on runOne
+// checking s.pruned first to keep the failure invisible — a fragile
+// ordering dependence this accounting no longer has.)
 func (s *System) bumpStep() {
 	s.stepCount++
 	if s.cfg.MaxSteps > 0 && s.stepCount > s.cfg.MaxSteps {
-		if s.failure == nil {
-			s.failure = &Failure{
-				Kind:      FailTooManySteps,
-				Msg:       fmt.Sprintf("execution exceeded %d steps", s.cfg.MaxSteps),
-				Execution: s.execIndex,
-			}
-		}
+		s.pruneReason = pruneStepBound
 		s.prune()
 	}
 }

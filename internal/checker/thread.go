@@ -230,8 +230,10 @@ func (t *Thread) threadMain() {
 				// scheduler side rather than crashing the process
 				// with a half-useful goroutine dump.
 				t.sys.failure = &Failure{
-					Kind: FailAssertion,
-					Msg:  fmt.Sprintf("panic in thread %d (%s): %v", t.id, t.name, r),
+					Kind:      FailAssertion,
+					Msg:       fmt.Sprintf("panic in thread %d (%s): %v", t.id, t.name, r),
+					Execution: t.sys.execIndex,
+					ActionID:  t.sys.lastActionID(),
 				}
 				t.sys.aborted = true
 			}

@@ -206,6 +206,17 @@ type CheckResult struct {
 	Failures []*checker.Failure
 	// Histories is the number of sequential histories checked.
 	Histories int
+	// HistoriesCapped reports that history enumeration was truncated by
+	// Spec.MaxHistories before the space was exhausted — the check passed
+	// on the histories it saw, but coverage was incomplete. Sampling
+	// specs are incomplete by design and do not set it.
+	HistoriesCapped bool
+	// AdmissibilityChecks counts admissibility rule-pair evaluations
+	// (MustOrder calls on unordered pairs).
+	AdmissibilityChecks int
+	// JustifySearches counts justifying-subhistory searches — one per
+	// call whose non-deterministic behavior needed justification.
+	JustifySearches int
 	// Admissible reports whether the execution passed Definition 1.
 	Admissible bool
 }
@@ -254,6 +265,7 @@ func (m *Monitor) Check() *CheckResult {
 				if r.ordered(a, b) || r.ordered(b, a) {
 					continue
 				}
+				res.AdmissibilityChecks++
 				if rule.MustOrder(a, b) {
 					res.Admissible = false
 					res.Failures = append(res.Failures, &checker.Failure{
@@ -280,7 +292,7 @@ func (m *Monitor) Check() *CheckResult {
 			histFail = m.runHistory(h)
 		}
 	} else {
-		topoSorts(calls, edge, m.spec.historyCap(), func(h []*Call) bool {
+		complete := topoSorts(calls, edge, m.spec.historyCap(), func(h []*Call) bool {
 			res.Histories++
 			if f := m.runHistory(h); f != nil {
 				histFail = f
@@ -288,6 +300,9 @@ func (m *Monitor) Check() *CheckResult {
 			}
 			return true
 		})
+		// complete is also false when emit stopped on a failure; only an
+		// unfailed, truncated enumeration counts as capped coverage.
+		res.HistoriesCapped = !complete && histFail == nil
 	}
 	if histFail != nil {
 		res.Failures = append(res.Failures, histFail)
@@ -300,6 +315,7 @@ func (m *Monitor) Check() *CheckResult {
 		if md.NeedsJustify == nil || !md.NeedsJustify(c) {
 			continue
 		}
+		res.JustifySearches++
 		if f := m.justify(r, c, md); f != nil {
 			res.Failures = append(res.Failures, f)
 			return res
@@ -388,7 +404,9 @@ func Explore(spec *Spec, cfg checker.Config, prog func(*checker.Thread)) *checke
 	cfg.OnExecution = func(sys *checker.System) []*checker.Failure {
 		var fails []*checker.Failure
 		if mon := FromSys(sys); mon != nil {
-			fails = mon.Check().Failures
+			cr := mon.Check()
+			sys.ReportSpecStats(cr.Histories, cr.HistoriesCapped, cr.AdmissibilityChecks, cr.JustifySearches)
+			fails = cr.Failures
 		}
 		if userExec != nil {
 			fails = append(fails, userExec(sys)...)

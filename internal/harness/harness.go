@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
@@ -23,6 +24,13 @@ import (
 type Options struct {
 	// Workers bounds the worker pool. 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Progress, when set, receives periodic exploration snapshots labeled
+	// with the benchmark name (the cdsspec -progress flag feeds on it).
+	// Rows may explore concurrently, so the callback must be safe for
+	// concurrent use.
+	Progress func(name string, p checker.Progress)
+	// ProgressInterval is the snapshot period (default 1s).
+	ProgressInterval time.Duration
 }
 
 func (o Options) workerCount() int {
@@ -30,6 +38,17 @@ func (o Options) workerCount() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ExplorerConfig builds the checker configuration for one benchmark run,
+// wiring the name-labeled progress callback when requested. The cdsspec
+// CLI uses it for one-off explorations that bypass the Run* helpers.
+func (o Options) ExplorerConfig(name string) checker.Config {
+	cfg := checker.Config{ProgressInterval: o.ProgressInterval}
+	if o.Progress != nil {
+		cfg.Progress = func(p checker.Progress) { o.Progress(name, p) }
+	}
+	return cfg
 }
 
 // forEach runs f(0..n-1) on at most workers goroutines and waits for all
@@ -89,41 +108,54 @@ type Benchmark struct {
 	PaperRatePercent                   int
 }
 
-// Fig7Row is one measured row of Figure 7.
+// Fig7Row is one measured row of Figure 7, with the observability extras
+// (prune split, branch counts, phase timings) carried in Stats.
 type Fig7Row struct {
-	Name                 string
-	Executions, Feasible int
-	Elapsed              time.Duration
-	PaperExecutions      int
-	PaperFeasible        int
-	PaperTime            string
+	Name            string        `json:"name"`
+	Executions      int           `json:"executions"`
+	Feasible        int           `json:"feasible"`
+	Pruned          int           `json:"pruned"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+	Stats           checker.Stats `json:"stats"`
+	PaperExecutions int           `json:"paper_executions"`
+	PaperFeasible   int           `json:"paper_feasible"`
+	PaperTime       string        `json:"paper_time_s"`
 }
 
 // RunFig7 explores the primary unit test exhaustively and returns the
 // measured row.
-func (b *Benchmark) RunFig7() Fig7Row {
-	res := core.Explore(b.Spec(), checker.Config{}, b.Progs(b.Orders())[0])
+func (b *Benchmark) RunFig7(opts Options) Fig7Row {
+	res := core.Explore(b.Spec(), opts.ExplorerConfig(b.Name), b.Progs(b.Orders())[0])
 	return Fig7Row{
 		Name:            b.Name,
 		Executions:      res.Executions,
 		Feasible:        res.Feasible,
+		Pruned:          res.Pruned,
 		Elapsed:         res.Elapsed,
+		Stats:           res.Stats,
 		PaperExecutions: b.PaperExecutions,
 		PaperFeasible:   b.PaperFeasible,
 		PaperTime:       b.PaperTime,
 	}
 }
 
-// Fig8Row is one measured row of Figure 8.
+// Fig8Row is one measured row of Figure 8. Executions and Stats aggregate
+// over every weakening trial of the row.
 type Fig8Row struct {
-	Name                               string
-	Injections                         int
-	Builtin, Admissibility, Assertion  int
-	Detected                           int
-	Missed                             []string
-	PaperInjections, PaperBuiltin      int
-	PaperAdmissibility, PaperAssertion int
-	PaperRatePercent                   int
+	Name               string        `json:"name"`
+	Injections         int           `json:"injections"`
+	Builtin            int           `json:"builtin"`
+	Admissibility      int           `json:"admissibility"`
+	Assertion          int           `json:"assertion"`
+	Detected           int           `json:"detected"`
+	Missed             []string      `json:"missed,omitempty"`
+	Executions         int           `json:"executions"`
+	Stats              checker.Stats `json:"stats"`
+	PaperInjections    int           `json:"paper_injections"`
+	PaperBuiltin       int           `json:"paper_builtin"`
+	PaperAdmissibility int           `json:"paper_admissibility"`
+	PaperAssertion     int           `json:"paper_assertion"`
+	PaperRatePercent   int           `json:"paper_rate_percent"`
 }
 
 // RatePercent returns the measured detection rate, or 0 when the row had
@@ -153,9 +185,15 @@ func (b *Benchmark) RunFig8(opts Options) Fig8Row {
 	defaults := b.Orders()
 	weaks := defaults.Weakenings()
 	hits := make([]*checker.Failure, len(weaks))
+	trialExecs := make([]int, len(weaks))
+	trialStats := make([]checker.Stats, len(weaks))
 	forEach(opts.workerCount(), len(weaks), func(i int) {
 		for _, prog := range b.Progs(weaks[i]) {
-			res := core.Explore(b.Spec(), checker.Config{StopAtFirst: true}, prog)
+			cfg := opts.ExplorerConfig(b.Name)
+			cfg.StopAtFirst = true
+			res := core.Explore(b.Spec(), cfg, prog)
+			trialExecs[i] += res.Executions
+			trialStats[i].Merge(&res.Stats)
 			if f := res.FirstFailure(); f != nil {
 				hits[i] = f
 				break
@@ -164,19 +202,31 @@ func (b *Benchmark) RunFig8(opts Options) Fig8Row {
 	})
 	for i, weak := range weaks {
 		row.Injections++
+		row.Executions += trialExecs[i]
+		row.Stats.Merge(&trialStats[i])
 		hit := hits[i]
-		switch {
-		case hit == nil:
+		if hit == nil {
 			row.Missed = append(row.Missed, describeWeakening(defaults, weak))
-		case hit.Kind.BuiltIn():
+			continue
+		}
+		// Classify by the kind's Figure 8 channel rather than ad-hoc kind
+		// tests, so a newly added kind cannot land in the wrong column.
+		switch hit.Kind.Channel() {
+		case "builtin":
 			row.Builtin++
 			row.Detected++
-		case hit.Kind == checker.FailAdmissibility:
+		case "admissibility":
 			row.Admissibility++
 			row.Detected++
-		default:
+		case "assertion":
 			row.Assertion++
 			row.Detected++
+		default:
+			// "none": a prune-only kind (e.g. step-bound) leaked out as a
+			// failure — a checker accounting bug. Count it as a miss so
+			// the detection rate never benefits from it.
+			row.Missed = append(row.Missed, fmt.Sprintf("%s (non-detection failure %s)",
+				describeWeakening(defaults, weak), hit.Kind))
 		}
 	}
 	return row
@@ -188,7 +238,7 @@ func RunAllFig7(opts Options) []Fig7Row {
 	bs := Benchmarks()
 	rows := make([]Fig7Row, len(bs))
 	forEach(opts.workerCount(), len(bs), func(i int) {
-		rows[i] = bs[i].RunFig7()
+		rows[i] = bs[i].RunFig7(opts)
 	})
 	return rows
 }
@@ -213,13 +263,19 @@ func describeWeakening(defaults, weak *memmodel.OrderTable) string {
 	return "?"
 }
 
-// FormatFig7 renders the Figure 7 table.
+// FormatFig7 renders the Figure 7 table with the observability extras:
+// the prune split folded into one column, rf-branch decision counts, and
+// the exploration vs spec-checking time split.
 func FormatFig7(rows []Fig7Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %12s %10s %10s   %s\n", "Benchmark", "# Executions", "# Feasible", "Time", "(paper: exec/feasible/time)")
+	fmt.Fprintf(&b, "%-18s %12s %10s %8s %8s %10s %9s %9s   %s\n",
+		"Benchmark", "# Executions", "# Feasible", "# Pruned", "RF-br", "Time", "Explore", "Spec",
+		"(paper: exec/feasible/time)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %12d %10d %10s   (%d / %d / %ss)\n",
-			r.Name, r.Executions, r.Feasible, r.Elapsed.Round(time.Millisecond),
+		fmt.Fprintf(&b, "%-18s %12d %10d %8d %8d %10s %9s %9s   (%d / %d / %ss)\n",
+			r.Name, r.Executions, r.Feasible, r.Pruned, r.Stats.RFBranchPoints,
+			r.Elapsed.Round(time.Millisecond),
+			r.Stats.ExploreTime.Round(time.Millisecond), r.Stats.SpecTime.Round(time.Millisecond),
 			r.PaperExecutions, r.PaperFeasible, r.PaperTime)
 	}
 	return b.String()
@@ -251,4 +307,23 @@ func FormatFig8(rows []Fig8Row) string {
 	fmt.Fprintf(&b, "%-18s %6d  detected %d (%d%%)   paper: %d injections, %d detected (93%%)\n",
 		"Total", ti, td, td*100/max(ti, 1), pi, pd)
 	return b.String()
+}
+
+// BenchSnapshot is the machine-readable benchmark record the CI
+// bench-snapshot job uploads as BENCH_<date>.json, seeding the repo's
+// performance trajectory. The date lives in the artifact filename, not
+// the payload, so two runs of the same tree produce comparable blobs.
+type BenchSnapshot struct {
+	// Schema versions the blob layout.
+	Schema string    `json:"schema"`
+	Fig7   []Fig7Row `json:"fig7,omitempty"`
+	Fig8   []Fig8Row `json:"fig8,omitempty"`
+}
+
+// SnapshotSchema identifies the current BenchSnapshot layout.
+const SnapshotSchema = "cdsspec-bench/v1"
+
+// SnapshotJSON renders the measured rows as an indented JSON snapshot.
+func SnapshotJSON(fig7 []Fig7Row, fig8 []Fig8Row) ([]byte, error) {
+	return json.MarshalIndent(&BenchSnapshot{Schema: SnapshotSchema, Fig7: fig7, Fig8: fig8}, "", "  ")
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -16,12 +17,20 @@ func TestFig7AllBenchmarksClean(t *testing.T) {
 	for _, b := range Benchmarks() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			row := b.RunFig7()
+			row := b.RunFig7(Options{})
 			if row.Executions == 0 || row.Feasible == 0 {
 				t.Fatalf("%s explored nothing: %+v", b.Name, row)
 			}
-			t.Logf("%s: executions=%d feasible=%d elapsed=%v (paper %d/%d/%ss)",
+			if row.Executions != row.Feasible+row.Pruned {
+				t.Errorf("%s: executions=%d != feasible=%d + pruned=%d (clean runs have no failures)",
+					b.Name, row.Executions, row.Feasible, row.Pruned)
+			}
+			if got := row.Stats.PrunedSleepSet + row.Stats.PrunedFairness + row.Stats.PrunedStepBound; got != row.Pruned {
+				t.Errorf("%s: prune-reason split %d does not sum to Pruned %d", b.Name, got, row.Pruned)
+			}
+			t.Logf("%s: executions=%d feasible=%d elapsed=%v explore=%v spec=%v (paper %d/%d/%ss)",
 				b.Name, row.Executions, row.Feasible, row.Elapsed,
+				row.Stats.ExploreTime, row.Stats.SpecTime,
 				row.PaperExecutions, row.PaperFeasible, row.PaperTime)
 		})
 	}
@@ -125,6 +134,32 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+// TestSnapshotJSON: the bench-snapshot blob is valid JSON, carries the
+// schema marker, and round-trips the rows (the contract the CI
+// bench-snapshot artifact relies on).
+func TestSnapshotJSON(t *testing.T) {
+	fig7 := []Fig7Row{{Name: "X", Executions: 5, Feasible: 4, Pruned: 1,
+		Stats: checker.Stats{PrunedSleepSet: 1, TotalSteps: 40}}}
+	fig8 := []Fig8Row{{Name: "X", Injections: 3, Detected: 2, Builtin: 2}}
+	blob, err := SnapshotJSON(fig7, fig8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap BenchSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v\n%s", err, blob)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Errorf("schema = %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	if len(snap.Fig7) != 1 || snap.Fig7[0].Stats.TotalSteps != 40 {
+		t.Errorf("fig7 rows did not survive the round-trip: %+v", snap.Fig7)
+	}
+	if len(snap.Fig8) != 1 || snap.Fig8[0].Detected != 2 {
+		t.Errorf("fig8 rows did not survive the round-trip: %+v", snap.Fig8)
+	}
+}
+
 // TestFig8ParallelDeterminism: a worker-pool Figure 8 sweep produces a
 // row identical to the sequential sweep (trials are independent and the
 // fold is in weakening order).
@@ -135,8 +170,13 @@ func TestFig8ParallelDeterminism(t *testing.T) {
 	}
 	seq := b.RunFig8(Options{Workers: 1})
 	par := b.RunFig8(Options{Workers: 4})
-	if fmt.Sprintf("%+v", seq) != fmt.Sprintf("%+v", par) {
-		t.Errorf("parallel Fig8 row differs:\n  seq: %+v\n  par: %+v", seq, par)
+	// The Stats timing fields are wall-clock measurements and differ even
+	// between two sequential runs; everything else must be bit-identical.
+	seqCmp, parCmp := seq, par
+	seqCmp.Stats = seqCmp.Stats.WithoutTimings()
+	parCmp.Stats = parCmp.Stats.WithoutTimings()
+	if fmt.Sprintf("%+v", seqCmp) != fmt.Sprintf("%+v", parCmp) {
+		t.Errorf("parallel Fig8 row differs:\n  seq: %+v\n  par: %+v", seqCmp, parCmp)
 	}
 }
 
@@ -155,6 +195,20 @@ func TestMSQueueParallelDFSDeterminism(t *testing.T) {
 		seq.Pruned != par.Pruned || seq.Exhausted != par.Exhausted ||
 		seq.FailureCount != par.FailureCount {
 		t.Errorf("parallel exploration differs:\n  seq: %v\n  par: %v", seq, par)
+	}
+	// Stats must be bit-identical too, except the wall-clock timings
+	// (Elapsed and the Stats.ExploreTime/SpecTime split), which are
+	// explicitly exempt: parallel workers accumulate them concurrently.
+	if seq.Stats.WithoutTimings() != par.Stats.WithoutTimings() {
+		t.Errorf("parallel stats differ:\n  seq: %+v\n  par: %+v",
+			seq.Stats.WithoutTimings(), par.Stats.WithoutTimings())
+	}
+	if seq.Stats.Histories == 0 {
+		t.Error("spec-layer history count missing from stats")
+	}
+	if seq.Elapsed <= 0 || par.Elapsed <= 0 || seq.Stats.ExploreTime <= 0 || seq.Stats.SpecTime <= 0 {
+		t.Errorf("timing fields should be positive: seq elapsed=%v explore=%v spec=%v, par elapsed=%v",
+			seq.Elapsed, seq.Stats.ExploreTime, seq.Stats.SpecTime, par.Elapsed)
 	}
 }
 
