@@ -9,13 +9,15 @@
 //	cdsspec run <benchmark>      explore one benchmark's unit test
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
 //	cdsspec json <benchmark>     print one execution + stats as JSON
+//	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (v1 or v2)
 //	cdsspec list                 list benchmark names
 //	cdsspec all                  run every experiment in sequence
 //
 // Flags: -workers N (global or per-subcommand), and per-subcommand
-// -json (machine-readable output) and -progress (periodic progress to
-// stderr). Subcommand flags go between the subcommand and its
-// positional arguments: cdsspec run -progress "M&S Queue".
+// -json (machine-readable output), -progress (periodic progress to
+// stderr) and -nocache (disable spec-check memoization). Subcommand
+// flags go between the subcommand and its positional arguments:
+// cdsspec run -progress "M&S Queue".
 package main
 
 import (
@@ -41,19 +43,20 @@ type cli struct {
 	workers        int
 	jsonOut        bool
 	progress       bool
+	nocache        bool
 }
 
 func (c *cli) opts() harness.Options {
-	o := harness.Options{Workers: c.workers}
+	o := harness.Options{Workers: c.workers, DisableSpecCache: c.nocache}
 	if c.progress {
 		o.Progress = func(name string, p checker.Progress) {
 			if p.Final {
-				fmt.Fprintf(c.stderr, "[%s] done: %d executions in %v (%.0f exec/s)\n",
-					name, p.Executions, p.Elapsed.Round(timeUnit), p.ExecsPerSec)
+				fmt.Fprintf(c.stderr, "[%s] done: %d executions in %v (%.0f exec/s, %d spec-cache hits)\n",
+					name, p.Executions, p.Elapsed.Round(timeUnit), p.ExecsPerSec, p.SpecCacheHits)
 				return
 			}
-			line := fmt.Sprintf("[%s] %d executions (%d feasible, %d pruned, %d failures) %.0f exec/s",
-				name, p.Executions, p.Feasible, p.Pruned, p.Failures, p.ExecsPerSec)
+			line := fmt.Sprintf("[%s] %d executions (%d feasible, %d pruned, %d failures, %d cache hits) %.0f exec/s",
+				name, p.Executions, p.Feasible, p.Pruned, p.Failures, p.SpecCacheHits, p.ExecsPerSec)
 			if p.ETA > 0 {
 				line += fmt.Sprintf(", ETA %v", p.ETA.Round(timeUnit))
 			}
@@ -90,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	subWorkers := sub.Int("workers", c.workers, "worker pool size (0 = GOMAXPROCS)")
 	sub.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	sub.BoolVar(&c.progress, "progress", false, "print periodic exploration progress to stderr")
+	sub.BoolVar(&c.nocache, "nocache", false, "disable the per-shard spec-check memoization cache")
 	if err := sub.Parse(rest[1:]); err != nil {
 		return 2
 	}
@@ -129,6 +133,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.jsonOne(pos[0])
+	case "benchdiff":
+		if len(pos) < 2 {
+			fmt.Fprintln(stderr, "usage: cdsspec benchdiff <old.json> <new.json>")
+			return 2
+		}
+		return c.benchDiff(pos[0], pos[1])
 	case "all":
 		if code := c.fig7(); code != 0 {
 			return code
@@ -151,7 +161,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|list|all} [-json] [-progress]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|list|all} [-json] [-progress] [-nocache]")
+}
+
+// benchDiff compares two benchmark snapshot files (schema v1 or v2) and
+// prints the per-row execution-count / wall-clock / spec-cache hit-rate
+// comparison. CI runs it between the archived previous artifact and the
+// freshly measured one.
+func (c *cli) benchDiff(oldPath, newPath string) int {
+	read := func(path string) (*harness.BenchSnapshot, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(c.stderr, "reading snapshot: %v\n", err)
+			return nil, false
+		}
+		s, err := harness.ReadSnapshot(data)
+		if err != nil {
+			fmt.Fprintf(c.stderr, "%s: %v\n", path, err)
+			return nil, false
+		}
+		return s, true
+	}
+	oldSnap, ok := read(oldPath)
+	if !ok {
+		return 1
+	}
+	newSnap, ok := read(newPath)
+	if !ok {
+		return 1
+	}
+	fmt.Fprintf(c.stdout, "=== bench snapshot diff: %s (%s) vs %s (%s) ===\n",
+		oldPath, oldSnap.Schema, newPath, newSnap.Schema)
+	fmt.Fprint(c.stdout, harness.DiffSnapshots(oldSnap, newSnap))
+	return 0
 }
 
 // unknownBenchmark reports an unrecognized benchmark name, listing the
@@ -246,6 +288,8 @@ func (c *cli) jsonOne(name string) int {
 		return unknownBenchmark(c.stderr, name)
 	}
 	var trace json.RawMessage
+	spec := b.Spec()
+	spec.DisableCheckCache = c.nocache
 	cfg := c.opts().ExplorerConfig(b.Name)
 	cfg.OnExecution = func(sys *checker.System) []*checker.Failure {
 		if trace == nil {
@@ -255,7 +299,7 @@ func (c *cli) jsonOne(name string) int {
 		}
 		return nil
 	}
-	res := core.Explore(b.Spec(), cfg, b.Progs(b.Orders())[0])
+	res := core.Explore(spec, cfg, b.Progs(b.Orders())[0])
 	out := struct {
 		Benchmark string          `json:"benchmark"`
 		Result    *checker.Result `json:"result"`

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -121,7 +123,7 @@ func TestJSONSubcommand(t *testing.T) {
 }
 
 // TestProgressFlag: -progress emits progress lines on stderr, ending
-// with the final "done" line.
+// with the final "done" line carrying the spec-cache hit count.
 func TestProgressFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"run", "-progress", "SPSC Queue"}, &out, &errOut); code != 0 {
@@ -129,5 +131,97 @@ func TestProgressFlag(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "[SPSC Queue] done:") {
 		t.Errorf("no final progress line on stderr:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "spec-cache hits)") {
+		t.Errorf("final progress line missing spec-cache hits:\n%s", errOut.String())
+	}
+}
+
+// snapshotStats decodes a fig7-only snapshot from a finished run.
+func snapshotStats(t *testing.T, out string) harness.Fig7Row {
+	t.Helper()
+	snap, err := harness.ReadSnapshot([]byte(out))
+	if err != nil {
+		t.Fatalf("output is not a snapshot: %v\n%s", err, out)
+	}
+	if len(snap.Fig7) != 1 {
+		t.Fatalf("expected one fig7 row: %+v", snap)
+	}
+	return snap.Fig7[0]
+}
+
+// TestNoCacheFlag: -nocache zeroes the spec-cache counters; without it
+// the same workload reports hits. Everything else about the run must
+// match (same executions, same histories).
+func TestNoCacheFlag(t *testing.T) {
+	var on, off, errOut strings.Builder
+	if code := run([]string{"run", "-json", "SPSC Queue"}, &on, &errOut); code != 0 {
+		t.Fatalf("run -json exited %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"run", "-json", "-nocache", "SPSC Queue"}, &off, &errOut); code != 0 {
+		t.Fatalf("run -json -nocache exited %d: %s", code, errOut.String())
+	}
+	rOn := snapshotStats(t, on.String())
+	rOff := snapshotStats(t, off.String())
+	if rOn.Stats.SpecCacheHits == 0 || rOn.Stats.SpecCacheMisses == 0 {
+		t.Errorf("cached run reports no cache activity: %+v", rOn.Stats)
+	}
+	if rOff.Stats.SpecCacheHits != 0 || rOff.Stats.SpecCacheMisses != 0 || rOff.Stats.SpecCacheEntries != 0 {
+		t.Errorf("-nocache run reports cache activity: %+v", rOff.Stats)
+	}
+	if rOn.Executions != rOff.Executions || rOn.Stats.Histories != rOff.Stats.Histories {
+		t.Errorf("cache changed the exploration: on %d execs/%d histories, off %d/%d",
+			rOn.Executions, rOn.Stats.Histories, rOff.Executions, rOff.Stats.Histories)
+	}
+}
+
+// TestBenchDiffSubcommand: benchdiff reads two snapshot files (v1 or v2)
+// and renders the comparison; bad paths and schemas exit non-zero.
+func TestBenchDiffSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(v1, []byte(`{
+	  "schema": "cdsspec-bench/v1",
+	  "fig7": [{"name": "SPSC Queue", "executions": 1, "stats": {}}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var snap, errOut strings.Builder
+	if code := run([]string{"run", "-json", "SPSC Queue"}, &snap, &errOut); code != 0 {
+		t.Fatalf("run -json exited %d: %s", code, errOut.String())
+	}
+	v2 := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(v2, []byte(snap.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	errOut.Reset()
+	if code := run([]string{"benchdiff", v1, v2}, &out, &errOut); code != 0 {
+		t.Fatalf("benchdiff exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"SPSC Queue", "hit(old)", "n/a", "EXECUTION COUNT CHANGED"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("benchdiff output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	errOut.Reset()
+	if code := run([]string{"benchdiff", filepath.Join(dir, "missing.json"), v2}, &out, &errOut); code == 0 {
+		t.Error("benchdiff with a missing file exited 0")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": "cdsspec-bench/v99"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if code := run([]string{"benchdiff", bad, v2}, &out, &errOut); code == 0 {
+		t.Error("benchdiff with an unknown schema exited 0")
+	}
+	if !strings.Contains(errOut.String(), "unsupported snapshot schema") {
+		t.Errorf("missing schema error: %s", errOut.String())
+	}
+	if code := run([]string{"benchdiff", v1}, &out, &errOut); code != 2 {
+		t.Error("benchdiff with one argument should exit 2")
 	}
 }

@@ -75,6 +75,17 @@ type Config struct {
 	// OnExecution runs after every feasible (completed) execution and
 	// returns any specification failures found in it.
 	OnExecution func(sys *System) []*Failure
+	// NewScratch, when set, is called once per exploration shard and its
+	// result is exposed to the hooks as System.Scratch for every execution
+	// of that shard. A shard is the unit of single-threaded exploration
+	// whose boundaries coincide between sequential and parallel DFS: in
+	// sequential DFS each branch of the root decision node opens a fresh
+	// shard; in parallel DFS each branch is one task (the probe execution
+	// belongs to branch 0's shard); in RandomWalk mode each worker is a
+	// shard. The CDSSpec layer keeps its spec-check memoization cache
+	// here — the alignment is what keeps cache-derived Stats counters
+	// bit-identical between exhaustive sequential and parallel runs.
+	NewScratch func() any
 	// Progress, when set, receives a periodic snapshot of the running
 	// exploration every ProgressInterval, plus a closing snapshot with
 	// Final set whose counts equal the returned Result. It is invoked
@@ -328,6 +339,18 @@ func (d *dfsChooser) advanceFrom(floor int) bool {
 	return false
 }
 
+// rootBranch identifies the branch of the root decision node the chooser
+// currently sits in (0 before any decision is recorded, or for a run with
+// a deterministic first choice). DFS advances the root node's chosen
+// branch monotonically, so a change in this value marks the boundary
+// between two subtrees of the root decision — the shard boundary.
+func (d *dfsChooser) rootBranch() int {
+	if len(d.decisions) == 0 {
+		return 0
+	}
+	return d.decisions[0].chosen
+}
+
 func contains(xs []int, x int) bool {
 	for _, v := range xs {
 		if v == x {
@@ -382,12 +405,13 @@ func (r *Result) record(f *Failure, maxFailures int) {
 }
 
 // runOne performs one execution under ch and folds it into res, using
-// res.Executions as the 1-based execution index. It reports whether the
-// execution failed.
-func runOne(c *Config, res *Result, ch chooser, root func(*Thread)) bool {
+// res.Executions as the 1-based execution index. scratch is the shard
+// state exposed as System.Scratch (nil when Config.NewScratch is unset).
+// It reports whether the execution failed.
+func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any) bool {
 	res.Executions++
 	exploreStart := time.Now()
-	sys := runExecution(c, ch, root, res.Executions)
+	sys := runExecution(c, ch, root, res.Executions, scratch)
 	res.Stats.ExploreTime += time.Since(exploreStart)
 	res.Stats.TotalSteps += sys.stepCount
 
@@ -414,12 +438,15 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread)) bool {
 			specStart := time.Now()
 			fails := c.OnExecution(sys)
 			res.Stats.SpecTime += time.Since(specStart)
-			res.Stats.Histories += sys.specHistories
-			if sys.specHistoriesCapped {
+			res.Stats.Histories += sys.specReport.Histories
+			if sys.specReport.HistoriesCapped {
 				res.Stats.HistoriesCapped++
 			}
-			res.Stats.AdmissibilityChecks += sys.specAdmissibility
-			res.Stats.JustifySearches += sys.specJustify
+			res.Stats.AdmissibilityChecks += sys.specReport.AdmissibilityChecks
+			res.Stats.JustifySearches += sys.specReport.JustifySearches
+			res.Stats.SpecCacheHits += sys.specReport.CacheHits
+			res.Stats.SpecCacheMisses += sys.specReport.CacheMisses
+			res.Stats.SpecCacheEntries += sys.specReport.CacheEntries
 			for _, f := range fails {
 				if f.Execution == 0 {
 					f.Execution = res.Executions
@@ -431,9 +458,17 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread)) bool {
 		}
 	}
 	if c.progress != nil {
-		c.progress.observe(!sys.pruned && sys.failure == nil, sys.pruned, failures)
+		c.progress.observe(!sys.pruned && sys.failure == nil, sys.pruned, failures, sys.specReport.CacheHits)
 	}
 	return failed
+}
+
+// newScratch builds one shard's Scratch value (nil without NewScratch).
+func (c *Config) newScratch() any {
+	if c.NewScratch == nil {
+		return nil
+	}
+	return c.NewScratch()
 }
 
 // randomWalkBudget returns the number of random-walk executions to run,
@@ -470,8 +505,9 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 		rng := rand.New(rand.NewSource(c.Seed))
 		walks := c.randomWalkBudget()
 		ch := &randChooser{rng: rng, disableRF: c.DisableStaleReads, stats: &res.Stats}
+		scratch := c.newScratch() // a sequential walk is one shard
 		for i := 0; i < walks; i++ {
-			failed := runOne(c, res, ch, root)
+			failed := runOne(c, res, ch, root, scratch)
 			if failed && c.StopAtFirst {
 				return res
 			}
@@ -481,8 +517,13 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 
 	d := newDFSChooser(c)
 	d.stats = &res.Stats
+	// Each branch of the root decision node is one shard — the same
+	// partition parallel DFS uses for its tasks, so shard-scoped state
+	// (spec caches) behaves identically in both modes.
+	scratch := c.newScratch()
+	branch := d.rootBranch()
 	for {
-		failed := runOne(c, res, d, root)
+		failed := runOne(c, res, d, root, scratch)
 		if failed && c.StopAtFirst {
 			return res
 		}
@@ -493,12 +534,16 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 			res.Exhausted = true
 			return res
 		}
+		if rb := d.rootBranch(); rb != branch {
+			branch = rb
+			scratch = c.newScratch()
+		}
 	}
 }
 
 // runExecution performs a single execution under the given chooser.
-func runExecution(cfg *Config, ch chooser, root func(*Thread), execIndex int) *System {
-	sys := &System{cfg: cfg, chooser: ch, execIndex: execIndex, sleep: newSleepSet()}
+func runExecution(cfg *Config, ch chooser, root func(*Thread), execIndex int, scratch any) *System {
+	sys := &System{cfg: cfg, chooser: ch, execIndex: execIndex, sleep: newSleepSet(), Scratch: scratch}
 	if cfg.OnRunStart != nil {
 		cfg.OnRunStart(sys)
 	}

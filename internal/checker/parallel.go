@@ -151,11 +151,12 @@ func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
 		local := &Result{}
 		ch := &randChooser{rng: rand.New(rand.NewSource(seed)), disableRF: c.DisableStaleReads, stats: &local.Stats}
 		locals[w] = local
+		scratch := c.newScratch() // each walk worker is one shard
 		for i := 0; i < count; i++ {
 			if b.stopped() {
 				return
 			}
-			failed := runOne(c, local, ch, root)
+			failed := runOne(c, local, ch, root, scratch)
 			if failed && c.StopAtFirst {
 				b.cancel()
 				return
@@ -173,7 +174,11 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 	res := &Result{}
 	probe := newDFSChooser(c)
 	probe.stats = &res.Stats
-	failed := runOne(c, res, probe, root)
+	// The probe is the first execution of root branch 0, so it opens that
+	// branch's shard; task 0 continues with the same scratch, exactly as
+	// the sequential DFS would.
+	probeScratch := c.newScratch()
+	failed := runOne(c, res, probe, root, probeScratch)
 	if failed && c.StopAtFirst {
 		return res
 	}
@@ -230,6 +235,13 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 		// probe's were aimed at res); the merge sums them back in branch
 		// order, reproducing the sequential totals.
 		d.stats = &local.Stats
+		// Each root branch is one shard: task 0 inherits the probe's
+		// scratch, other tasks open a fresh one — matching the sequential
+		// DFS, which renews its scratch at every root-branch boundary.
+		scratch := probeScratch
+		if task != 0 {
+			scratch = c.newScratch()
+		}
 		// The probe already ran task 0's first leaf; every other task's
 		// chooser is positioned on an unexplored leaf.
 		needAdvance := task == 0
@@ -242,7 +254,7 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 			if !b.tryStart() {
 				return
 			}
-			failed := runOne(c, local, d, root)
+			failed := runOne(c, local, d, root, scratch)
 			if failed && c.StopAtFirst {
 				b.cancel()
 				return

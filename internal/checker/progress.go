@@ -17,6 +17,9 @@ type Progress struct {
 	Feasible   int
 	Pruned     int
 	Failures   int
+	// SpecCacheHits mirrors Stats.SpecCacheHits: spec checks answered
+	// from the memoization cache so far (zero when caching is off).
+	SpecCacheHits int
 	// Elapsed is the wall clock since the exploration started.
 	Elapsed time.Duration
 	// ExecsPerSec is the average execution rate so far.
@@ -42,10 +45,11 @@ type progressTracker struct {
 	maxExecs int
 	start    time.Time
 
-	execs    atomic.Int64
-	feasible atomic.Int64
-	pruned   atomic.Int64
-	fails    atomic.Int64
+	execs     atomic.Int64
+	feasible  atomic.Int64
+	pruned    atomic.Int64
+	fails     atomic.Int64
+	cacheHits atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -78,7 +82,7 @@ func (t *progressTracker) loop(interval time.Duration) {
 }
 
 // observe folds one completed execution into the tracker.
-func (t *progressTracker) observe(feasible, pruned bool, failures int) {
+func (t *progressTracker) observe(feasible, pruned bool, failures, cacheHits int) {
 	t.execs.Add(1)
 	if feasible {
 		t.feasible.Add(1)
@@ -89,16 +93,20 @@ func (t *progressTracker) observe(feasible, pruned bool, failures int) {
 	if failures > 0 {
 		t.fails.Add(int64(failures))
 	}
+	if cacheHits > 0 {
+		t.cacheHits.Add(int64(cacheHits))
+	}
 }
 
 func (t *progressTracker) snapshot(final bool) Progress {
 	p := Progress{
-		Executions: int(t.execs.Load()),
-		Feasible:   int(t.feasible.Load()),
-		Pruned:     int(t.pruned.Load()),
-		Failures:   int(t.fails.Load()),
-		Elapsed:    time.Since(t.start),
-		Final:      final,
+		Executions:    int(t.execs.Load()),
+		Feasible:      int(t.feasible.Load()),
+		Pruned:        int(t.pruned.Load()),
+		Failures:      int(t.fails.Load()),
+		SpecCacheHits: int(t.cacheHits.Load()),
+		Elapsed:       time.Since(t.start),
+		Final:         final,
 	}
 	if secs := p.Elapsed.Seconds(); secs > 0 {
 		p.ExecsPerSec = float64(p.Executions) / secs

@@ -1,0 +1,90 @@
+package checker
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScratchShardAlignment pins the shard contract of Config.NewScratch:
+// exhaustive sequential and parallel DFS must create the same number of
+// scratches (one per root-decision branch), because per-shard counters
+// derived from scratch state (the spec-check cache) are only bit-identical
+// across modes if the shard boundaries coincide.
+func TestScratchShardAlignment(t *testing.T) {
+	count := func(parallelism int) int {
+		var n atomic.Int64
+		cfg := Config{
+			Parallelism: parallelism,
+			NewScratch:  func() any { n.Add(1); return new(int) },
+		}
+		res := Explore(cfg, manyExecProgram)
+		if !res.Exhausted {
+			t.Fatalf("parallelism %d: not exhausted: %v", parallelism, res)
+		}
+		return int(n.Load())
+	}
+	seq := count(1)
+	par := count(4)
+	if seq < 2 {
+		t.Fatalf("program too small: only %d shards sequentially", seq)
+	}
+	if seq != par {
+		t.Errorf("shard counts differ: sequential %d, parallel %d", seq, par)
+	}
+}
+
+// TestScratchVisibleInHooks: the shard's scratch value is installed on the
+// System before OnRunStart and stays for the whole execution, and one
+// scratch serves many executions (it outlives the execution, unlike Aux).
+func TestScratchVisibleInHooks(t *testing.T) {
+	var mu sync.Mutex
+	perScratch := map[*int]int{}
+	cfg := Config{
+		NewScratch: func() any { return new(int) },
+		OnExecution: func(sys *System) []*Failure {
+			p, ok := sys.Scratch.(*int)
+			if !ok {
+				t.Error("Scratch not visible in OnExecution")
+				return nil
+			}
+			mu.Lock()
+			perScratch[p]++
+			mu.Unlock()
+			return nil
+		},
+	}
+	res := Explore(cfg, manyExecProgram)
+	if !res.Exhausted {
+		t.Fatalf("not exhausted: %v", res)
+	}
+	total := 0
+	reused := false
+	for _, c := range perScratch {
+		total += c
+		if c > 1 {
+			reused = true
+		}
+	}
+	if total != res.Feasible {
+		t.Errorf("scratch seen in %d executions, want %d (OnExecution runs per feasible execution)", total, res.Feasible)
+	}
+	if !reused {
+		t.Error("no scratch served more than one execution; shard reuse is broken")
+	}
+}
+
+// TestNoScratchByDefault: without a NewScratch hook the Scratch slot stays
+// nil (callers type-assert it, so a stray value would be harmless but a
+// nil check is the documented fast path).
+func TestNoScratchByDefault(t *testing.T) {
+	cfg := Config{
+		OnExecution: func(sys *System) []*Failure {
+			if sys.Scratch != nil {
+				t.Error("Scratch should be nil without a NewScratch hook")
+			}
+			return nil
+		},
+	}
+	Explore(cfg, manyExecProgram)
+}

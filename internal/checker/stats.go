@@ -52,6 +52,25 @@ type Stats struct {
 	// whose non-deterministic behavior needed justification).
 	JustifySearches int `json:"justify_searches"`
 
+	// Spec-check memoization counters. The spec layer caches the full
+	// check result keyed by a canonical fingerprint of each execution's
+	// spec-relevant content, so equivalent executions cost one lookup.
+	// Caches are per exploration shard (Config.NewScratch): sequential
+	// DFS opens one shard per root-decision branch — exactly the subtree
+	// a parallel DFS task owns — so on exhaustive runs the branch-order
+	// merge makes all three counters bit-identical between sequential and
+	// parallel exploration, like every other non-timing field.
+	//
+	// SpecCacheHits counts feasible executions answered from the cache;
+	// SpecCacheMisses counts executions that ran the full check;
+	// SpecCacheEntries counts distinct fingerprints inserted (summed over
+	// shards). Hits + Misses equals the feasible executions that reached
+	// the spec checker with caching enabled, and all three stay zero when
+	// the cache is disabled (Spec.DisableCheckCache).
+	SpecCacheHits    int `json:"spec_cache_hits"`
+	SpecCacheMisses  int `json:"spec_cache_misses"`
+	SpecCacheEntries int `json:"spec_cache_entries"`
+
 	// Phase-timing split: wall clock spent running executions vs checking
 	// feasible executions against the specification. Parallel workers
 	// accumulate concurrently, so the sums may exceed Result.Elapsed; both
@@ -78,6 +97,9 @@ func (s *Stats) Merge(o *Stats) {
 	s.HistoriesCapped += o.HistoriesCapped
 	s.AdmissibilityChecks += o.AdmissibilityChecks
 	s.JustifySearches += o.JustifySearches
+	s.SpecCacheHits += o.SpecCacheHits
+	s.SpecCacheMisses += o.SpecCacheMisses
+	s.SpecCacheEntries += o.SpecCacheEntries
 	s.ExploreTime += o.ExploreTime
 	s.SpecTime += o.SpecTime
 }

@@ -46,10 +46,7 @@ type System struct {
 
 	// Spec-checking statistics reported by the core layer through
 	// ReportSpecStats; runOne folds them into Result.Stats.
-	specHistories       int
-	specHistoriesCapped bool
-	specAdmissibility   int
-	specJustify         int
+	specReport SpecReport
 
 	// sleep is the sleep set of the current exploration subtree.
 	sleep *sleepSet
@@ -57,6 +54,12 @@ type System struct {
 	// Aux carries per-execution state for higher layers (the CDSSpec
 	// monitor installs itself here from the OnRunStart hook).
 	Aux any
+	// Scratch carries per-shard state created by Config.NewScratch (the
+	// CDSSpec layer keeps its spec-check memoization cache here). Unlike
+	// Aux it outlives the execution: every execution of one exploration
+	// shard sees the same value. Only the shard's own (single) goroutine
+	// touches it, so no locking is needed.
+	Scratch any
 }
 
 // Actions returns the action trace of the execution so far.
@@ -69,16 +72,33 @@ func (s *System) Failure() *Failure { return s.failure }
 // exploration.
 func (s *System) ExecIndex() int { return s.execIndex }
 
-// ReportSpecStats lets the specification layer (which sits above this
-// package and cannot be imported from it) report per-execution checking
-// statistics from the OnExecution hook: sequential histories enumerated,
-// whether the enumeration hit the history cap, admissibility rule pairs
-// evaluated, and justifying-subhistory searches run. Calls accumulate.
-func (s *System) ReportSpecStats(histories int, capped bool, admissibilityChecks, justifySearches int) {
-	s.specHistories += histories
-	s.specHistoriesCapped = s.specHistoriesCapped || capped
-	s.specAdmissibility += admissibilityChecks
-	s.specJustify += justifySearches
+// SpecReport carries the per-execution checking statistics the
+// specification layer (which sits above this package and cannot be
+// imported from it) reports from the OnExecution hook: sequential
+// histories enumerated, whether the enumeration hit the history cap,
+// admissibility rule pairs evaluated, justifying-subhistory searches
+// run, and the spec-check memoization outcome (at most one of CacheHits/
+// CacheMisses is set per check; CacheEntries counts insertions).
+type SpecReport struct {
+	Histories           int
+	HistoriesCapped     bool
+	AdmissibilityChecks int
+	JustifySearches     int
+	CacheHits           int
+	CacheMisses         int
+	CacheEntries        int
+}
+
+// ReportSpecStats accumulates one SpecReport into the execution; runOne
+// folds the total into Result.Stats.
+func (s *System) ReportSpecStats(r SpecReport) {
+	s.specReport.Histories += r.Histories
+	s.specReport.HistoriesCapped = s.specReport.HistoriesCapped || r.HistoriesCapped
+	s.specReport.AdmissibilityChecks += r.AdmissibilityChecks
+	s.specReport.JustifySearches += r.JustifySearches
+	s.specReport.CacheHits += r.CacheHits
+	s.specReport.CacheMisses += r.CacheMisses
+	s.specReport.CacheEntries += r.CacheEntries
 }
 
 // pruneReason records why an execution was abandoned without a report,

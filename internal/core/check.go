@@ -11,6 +11,12 @@ import (
 // calls, as a reachability matrix (closed under transitivity).
 type orderRelation struct {
 	calls []*Call
+	// idx maps each call to its row/column in reach — its position in the
+	// calls slice. Call.ID is NOT used as an index: IDs are dense for
+	// monitor-recorded calls today, but nothing enforces that invariant
+	// for filtered or hand-built call lists, and silently aliasing rows
+	// through sparse IDs would corrupt the relation.
+	idx map[*Call]int
 	// reach[i][j] reports calls[i] ~r~ calls[j].
 	reach [][]bool
 }
@@ -20,10 +26,26 @@ type orderRelation struct {
 // Y of B, X →hb Y or X →sc Y implies A ~r~ B. The relation is then closed
 // transitively.
 func buildOrder(calls []*Call) *orderRelation {
+	return buildOrderScratch(calls, &checkScratch{})
+}
+
+// buildOrderScratch is buildOrder with the matrix and index map backed by
+// the shard's reusable scratch. The returned relation is valid until the
+// scratch's next buildOrderScratch call.
+func buildOrderScratch(calls []*Call, sc *checkScratch) *orderRelation {
 	n := len(calls)
-	r := &orderRelation{calls: calls, reach: make([][]bool, n)}
-	for i := range r.reach {
-		r.reach[i] = make([]bool, n)
+	if sc.idx == nil {
+		sc.idx = make(map[*Call]int, n)
+	} else {
+		clear(sc.idx)
+	}
+	r := &orderRelation{calls: calls, idx: sc.idx, reach: sc.grabMatrix(n)}
+	for i, c := range calls {
+		r.idx[c] = i
+	}
+	if len(r.idx) != n {
+		// A duplicated *Call would alias two rows onto one index.
+		panic(fmt.Sprintf("buildOrder: %d calls but %d distinct", n, len(r.idx)))
 	}
 	for i, a := range calls {
 		for j, b := range calls {
@@ -76,7 +98,7 @@ func (r *orderRelation) cyclic() bool {
 }
 
 // ordered reports a ~r~ b for call values.
-func (r *orderRelation) ordered(a, b *Call) bool { return r.reach[a.ID][b.ID] }
+func (r *orderRelation) ordered(a, b *Call) bool { return r.reach[r.idx[a]][r.idx[b]] }
 
 // concurrent returns the calls not ordered either way with c — the
 // concurrent(m) set of paper §2.2.
@@ -107,11 +129,14 @@ func (r *orderRelation) predecessors(c *Call) []*Call {
 
 // topoSorts enumerates the topological sorts of nodes under edge,
 // invoking emit for each; emit returns false to stop. limit caps the
-// number of sorts generated. It reports whether enumeration ran to
-// completion (neither stopped nor truncated).
-func topoSorts(nodes []*Call, edge func(a, b *Call) bool, limit int, emit func([]*Call) bool) bool {
+// number of sorts generated. The slice passed to emit is live scratch
+// memory, valid only for the duration of the emit call — callers must
+// not retain it. sc backs the bookkeeping arrays (pass a fresh
+// checkScratch when no shard scratch is available). It reports whether
+// enumeration ran to completion (neither stopped nor truncated).
+func topoSorts(nodes []*Call, edge func(a, b *Call) bool, limit int, sc *checkScratch, emit func([]*Call) bool) bool {
 	n := len(nodes)
-	indeg := make([]int, n)
+	indeg, used, order := sc.grabTopo(n)
 	for i := range nodes {
 		for j, b := range nodes {
 			if i != j && edge(nodes[i], b) {
@@ -119,15 +144,13 @@ func topoSorts(nodes []*Call, edge func(a, b *Call) bool, limit int, emit func([
 			}
 		}
 	}
-	order := make([]*Call, 0, n)
-	used := make([]bool, n)
 	count := 0
 	complete := true
 	var rec func() bool
 	rec = func() bool {
 		if len(order) == n {
 			count++
-			if !emit(append([]*Call(nil), order...)) {
+			if !emit(order) {
 				complete = false
 				return false
 			}
@@ -167,10 +190,11 @@ func topoSorts(nodes []*Call, edge func(a, b *Call) bool, limit int, emit func([
 }
 
 // randomTopoSort draws one uniform-ish linear extension of the calls
-// under edge by repeatedly picking a random ready node.
-func randomTopoSort(nodes []*Call, edge func(a, b *Call) bool, rng *rand.Rand) []*Call {
+// under edge by repeatedly picking a random ready node. The returned
+// slice is backed by sc and valid until its next grabTopo call.
+func randomTopoSort(nodes []*Call, edge func(a, b *Call) bool, rng *rand.Rand, sc *checkScratch) []*Call {
 	n := len(nodes)
-	indeg := make([]int, n)
+	indeg, used, out := sc.grabTopo(n)
 	for i := range nodes {
 		for j := range nodes {
 			if i != j && edge(nodes[i], nodes[j]) {
@@ -178,15 +202,14 @@ func randomTopoSort(nodes []*Call, edge func(a, b *Call) bool, rng *rand.Rand) [
 			}
 		}
 	}
-	used := make([]bool, n)
-	out := make([]*Call, 0, n)
 	for len(out) < n {
-		var ready []int
+		ready := sc.ready[:0]
 		for i := 0; i < n; i++ {
 			if !used[i] && indeg[i] == 0 {
 				ready = append(ready, i)
 			}
 		}
+		sc.ready = ready // keep any capacity growth for the next draw
 		pick := ready[rng.Intn(len(ready))]
 		used[pick] = true
 		out = append(out, nodes[pick])
@@ -222,32 +245,94 @@ type CheckResult struct {
 }
 
 // Check verifies the recorded execution against the spec and returns any
-// failures. It implements the checking pipeline of paper §5.2.
+// failures. It implements the checking pipeline of paper §5.2, always
+// running the full check (no memoization) — the entry point for direct
+// unit-level checking.
 func (m *Monitor) Check() *CheckResult {
+	res, _ := m.checkMemo(nil)
+	return res
+}
+
+// checkMemo is Check with an optional per-shard memoization cache. With a
+// cache, the execution's canonical fingerprint (see fingerprint) keys the
+// full CheckResult: a repeated equivalent behavior costs buildOrder plus
+// one lookup instead of a sequential-history enumeration. The returned
+// SpecReport carries the counters the checker folds into Stats — on a hit
+// they replay the cached check's counters, so the spec-side Stats are
+// independent of the hit/miss pattern.
+func (m *Monitor) checkMemo(cc *checkCache) (*CheckResult, checker.SpecReport) {
 	res := &CheckResult{Admissible: true}
 	if m == nil || m.spec == nil {
-		return res
+		return res, checker.SpecReport{}
 	}
 	calls := m.calls
 	for _, c := range calls {
 		if !c.ended {
 			res.Failures = append(res.Failures, specFail(
 				"method call %s began but never ended (missing End instrumentation)", c))
-			return res
+			return res, reportFor(res)
 		}
 		if m.spec.Methods[c.Name] == nil {
 			res.Failures = append(res.Failures, specFail(
 				"no method spec for %q", c.Name))
-			return res
+			return res, reportFor(res)
 		}
 	}
-	r := buildOrder(calls)
+	sc := &m.noScratch
+	if cc != nil {
+		sc = &cc.scratch
+	}
+	r := buildOrderScratch(calls, sc)
 	if r.cyclic() {
 		res.Failures = append(res.Failures, specFail(
 			"ordering points induce a cyclic ~r~ relation; check OP annotations"))
-		return res
+		return res, reportFor(res)
 	}
 
+	// The canonical fingerprint doubles as the cache key and as the
+	// per-execution entropy for the history-sampler seed, so it is needed
+	// whenever either a cache or a sampling spec is in play.
+	var key string
+	var fp uint64
+	if cc != nil || m.spec.SampleHistories > 0 {
+		key, fp = fingerprint(sc, calls, r)
+	}
+	if cc != nil {
+		if hit, ok := cc.entries[key]; ok {
+			rep := reportFor(hit)
+			rep.CacheHits = 1
+			return withCopiedFailures(hit), rep
+		}
+	}
+
+	m.runCheck(res, r, sc, fp)
+	rep := reportFor(res)
+	if cc != nil {
+		cc.entries[key] = res
+		rep.CacheMisses = 1
+		rep.CacheEntries = 1
+		res = withCopiedFailures(res)
+	}
+	return res, rep
+}
+
+// samplerSeed derives the history-sampler seed for one execution from the
+// spec's base seed and the execution's canonical fingerprint hash. Tying
+// the seed to content (rather than, say, the call count) makes distinct
+// executions draw distinct samples — collapsing them onto one sample
+// silently shrinks sampling coverage — while staying deterministic and
+// identical between sequential and parallel exhaustive runs, which see
+// the same executions.
+func samplerSeed(base int64, fp uint64) int64 {
+	return base ^ int64(fp)
+}
+
+// runCheck runs the expensive phases of the checking pipeline —
+// admissibility, sequential-history enumeration or sampling, and
+// justification — folding outcomes into res. fp is the execution's
+// fingerprint hash (used only by the sampling path).
+func (m *Monitor) runCheck(res *CheckResult, r *orderRelation, sc *checkScratch, fp uint64) {
+	calls := m.calls
 	// Admissibility (Definition 1). An inadmissible execution is a
 	// warning: the spec's correctness properties are not checked for it.
 	for _, rule := range m.spec.Admissibility {
@@ -273,7 +358,7 @@ func (m *Monitor) Check() *CheckResult {
 						Msg: fmt.Sprintf("inadmissible execution: %s and %s must be ordered (@Admit %s<->%s)",
 							a, b, rule.M1, rule.M2),
 					})
-					return res
+					return
 				}
 			}
 		}
@@ -285,14 +370,14 @@ func (m *Monitor) Check() *CheckResult {
 	edge := func(a, b *Call) bool { return r.ordered(a, b) }
 	var histFail *checker.Failure
 	if n := m.spec.SampleHistories; n > 0 {
-		rng := rand.New(rand.NewSource(m.spec.SampleSeed + int64(len(calls))))
+		rng := rand.New(rand.NewSource(samplerSeed(m.spec.SampleSeed, fp)))
 		for i := 0; i < n && histFail == nil; i++ {
-			h := randomTopoSort(calls, edge, rng)
+			h := randomTopoSort(calls, edge, rng, sc)
 			res.Histories++
 			histFail = m.runHistory(h)
 		}
 	} else {
-		complete := topoSorts(calls, edge, m.spec.historyCap(), func(h []*Call) bool {
+		complete := topoSorts(calls, edge, m.spec.historyCap(), sc, func(h []*Call) bool {
 			res.Histories++
 			if f := m.runHistory(h); f != nil {
 				histFail = f
@@ -306,7 +391,7 @@ func (m *Monitor) Check() *CheckResult {
 	}
 	if histFail != nil {
 		res.Failures = append(res.Failures, histFail)
-		return res
+		return
 	}
 
 	// Justified behaviors (Definitions 3–4).
@@ -316,12 +401,11 @@ func (m *Monitor) Check() *CheckResult {
 			continue
 		}
 		res.JustifySearches++
-		if f := m.justify(r, c, md); f != nil {
+		if f := m.justify(r, c, md, sc); f != nil {
 			res.Failures = append(res.Failures, f)
-			return res
+			return
 		}
 	}
-	return res
 }
 
 // runHistory replays the equivalent sequential data structure over a
@@ -345,12 +429,12 @@ func (m *Monitor) runHistory(h []*Call) *checker.Failure {
 
 // justify checks Definition 4 for call c: some justifying subhistory (or
 // the concurrent set) must enable the non-deterministic behavior.
-func (m *Monitor) justify(r *orderRelation, c *Call, md *MethodSpec) *checker.Failure {
+func (m *Monitor) justify(r *orderRelation, c *Call, md *MethodSpec, sc *checkScratch) *checker.Failure {
 	conc := r.concurrent(c)
 	preds := r.predecessors(c)
 	edge := func(a, b *Call) bool { return r.ordered(a, b) }
 	justified := false
-	topoSorts(preds, edge, m.spec.subhistoryCap(), func(j []*Call) bool {
+	topoSorts(preds, edge, m.spec.subhistoryCap(), sc, func(j []*Call) bool {
 		// Execute the subhistory's predecessors, then m itself: the
 		// justifying precondition holds before m and the justifying
 		// postcondition after it (paper §4.3).
@@ -391,7 +475,11 @@ func specFail(format string, args ...any) *checker.Failure {
 }
 
 // Explore runs the model checker over prog with the spec checked after
-// every feasible execution — the whole CDSSpec pipeline in one call.
+// every feasible execution — the whole CDSSpec pipeline in one call. The
+// per-execution spec check is memoized per exploration shard unless
+// Spec.DisableCheckCache is set (or the caller installed its own
+// Config.NewScratch hook, whose Scratch value the cache would collide
+// with).
 func Explore(spec *Spec, cfg checker.Config, prog func(*checker.Thread)) *checker.Result {
 	userStart := cfg.OnRunStart
 	cfg.OnRunStart = func(sys *checker.System) {
@@ -400,12 +488,15 @@ func Explore(spec *Spec, cfg checker.Config, prog func(*checker.Thread)) *checke
 			userStart(sys)
 		}
 	}
+	if !spec.DisableCheckCache && cfg.NewScratch == nil {
+		cfg.NewScratch = func() any { return newCheckCache() }
+	}
 	userExec := cfg.OnExecution
 	cfg.OnExecution = func(sys *checker.System) []*checker.Failure {
 		var fails []*checker.Failure
 		if mon := FromSys(sys); mon != nil {
-			cr := mon.Check()
-			sys.ReportSpecStats(cr.Histories, cr.HistoriesCapped, cr.AdmissibilityChecks, cr.JustifySearches)
+			cr, rep := mon.checkMemo(cacheOf(sys))
+			sys.ReportSpecStats(rep)
 			fails = cr.Failures
 		}
 		if userExec != nil {

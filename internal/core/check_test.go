@@ -90,7 +90,7 @@ func TestCyclicDetection(t *testing.T) {
 func countSorts(t *testing.T, calls []*Call, edge func(a, b *Call) bool) int {
 	t.Helper()
 	n := 0
-	complete := topoSorts(calls, edge, 1_000_000, func(h []*Call) bool { n++; return true })
+	complete := topoSorts(calls, edge, 1_000_000, &checkScratch{}, func(h []*Call) bool { n++; return true })
 	if !complete {
 		t.Fatal("enumeration truncated")
 	}
@@ -131,7 +131,7 @@ func TestTopoSortsRespectEdges(t *testing.T) {
 	calls := []*Call{makeCall(0, "a", 0), makeCall(1, "b", 0), makeCall(2, "c", 0)}
 	edge := func(a, b *Call) bool { return a.ID == 0 && b.ID == 2 } // a before c
 	seen := 0
-	topoSorts(calls, edge, 100, func(h []*Call) bool {
+	topoSorts(calls, edge, 100, &checkScratch{}, func(h []*Call) bool {
 		seen++
 		posA, posC := -1, -1
 		for i, c := range h {
@@ -156,7 +156,7 @@ func TestTopoSortsLimit(t *testing.T) {
 	calls := []*Call{makeCall(0, "a", 0), makeCall(1, "b", 0), makeCall(2, "c", 0)}
 	noEdge := func(a, b *Call) bool { return false }
 	n := 0
-	complete := topoSorts(calls, noEdge, 2, func(h []*Call) bool { n++; return true })
+	complete := topoSorts(calls, noEdge, 2, &checkScratch{}, func(h []*Call) bool { n++; return true })
 	if complete || n != 2 {
 		t.Errorf("limit not honored: complete=%v n=%d", complete, n)
 	}
@@ -459,7 +459,7 @@ func TestRandomTopoSortRespectsEdges(t *testing.T) {
 	edge := func(x, y *Call) bool { return r.ordered(x, y) }
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 50; i++ {
-		h := randomTopoSort(calls, edge, rng)
+		h := randomTopoSort(calls, edge, rng, &checkScratch{})
 		posA, posB := -1, -1
 		for j, c := range h {
 			if c == ca {

@@ -16,6 +16,9 @@ type Monitor struct {
 	// (paper §4.3, "Nested API Method Call").
 	active map[int]*Call
 	depth  map[int]int
+	// noScratch backs the check when no shard cache (and thus no shared
+	// checkScratch) is available — direct Check() calls from unit tests.
+	noScratch checkScratch
 }
 
 // Install creates a Monitor for spec and hangs it off the system so the

@@ -31,6 +31,21 @@ type Options struct {
 	Progress func(name string, p checker.Progress)
 	// ProgressInterval is the snapshot period (default 1s).
 	ProgressInterval time.Duration
+	// DisableSpecCache turns off the per-shard spec-check memoization for
+	// every exploration the harness runs (Spec.DisableCheckCache), for
+	// cache-on/off ablation runs. Results must be identical either way;
+	// only timings and the spec_cache_* counters change.
+	DisableSpecCache bool
+}
+
+// spec builds the benchmark's spec with the harness-level cache switch
+// applied.
+func (b *Benchmark) spec(opts Options) *core.Spec {
+	s := b.Spec()
+	if opts.DisableSpecCache {
+		s.DisableCheckCache = true
+	}
+	return s
 }
 
 func (o Options) workerCount() int {
@@ -125,7 +140,7 @@ type Fig7Row struct {
 // RunFig7 explores the primary unit test exhaustively and returns the
 // measured row.
 func (b *Benchmark) RunFig7(opts Options) Fig7Row {
-	res := core.Explore(b.Spec(), opts.ExplorerConfig(b.Name), b.Progs(b.Orders())[0])
+	res := core.Explore(b.spec(opts), opts.ExplorerConfig(b.Name), b.Progs(b.Orders())[0])
 	return Fig7Row{
 		Name:            b.Name,
 		Executions:      res.Executions,
@@ -191,7 +206,7 @@ func (b *Benchmark) RunFig8(opts Options) Fig8Row {
 		for _, prog := range b.Progs(weaks[i]) {
 			cfg := opts.ExplorerConfig(b.Name)
 			cfg.StopAtFirst = true
-			res := core.Explore(b.Spec(), cfg, prog)
+			res := core.Explore(b.spec(opts), cfg, prog)
 			trialExecs[i] += res.Executions
 			trialStats[i].Merge(&res.Stats)
 			if f := res.FirstFailure(); f != nil {
@@ -263,19 +278,32 @@ func describeWeakening(defaults, weak *memmodel.OrderTable) string {
 	return "?"
 }
 
+// SpecCacheHitRate returns the spec-cache hit rate of a Stats record as a
+// percentage string, or "n/a" when no cached checking happened — caching
+// disabled, no feasible executions, or a pre-cache (schema v1) snapshot
+// whose Stats lack the counters entirely.
+func SpecCacheHitRate(s *checker.Stats) string {
+	total := s.SpecCacheHits + s.SpecCacheMisses
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%d%%", s.SpecCacheHits*100/total)
+}
+
 // FormatFig7 renders the Figure 7 table with the observability extras:
-// the prune split folded into one column, rf-branch decision counts, and
-// the exploration vs spec-checking time split.
+// the prune split folded into one column, rf-branch decision counts, the
+// exploration vs spec-checking time split, and the spec-cache hit rate.
 func FormatFig7(rows []Fig7Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %12s %10s %8s %8s %10s %9s %9s   %s\n",
-		"Benchmark", "# Executions", "# Feasible", "# Pruned", "RF-br", "Time", "Explore", "Spec",
+	fmt.Fprintf(&b, "%-18s %12s %10s %8s %8s %10s %9s %9s %6s   %s\n",
+		"Benchmark", "# Executions", "# Feasible", "# Pruned", "RF-br", "Time", "Explore", "Spec", "Cache",
 		"(paper: exec/feasible/time)")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %12d %10d %8d %8d %10s %9s %9s   (%d / %d / %ss)\n",
+		fmt.Fprintf(&b, "%-18s %12d %10d %8d %8d %10s %9s %9s %6s   (%d / %d / %ss)\n",
 			r.Name, r.Executions, r.Feasible, r.Pruned, r.Stats.RFBranchPoints,
 			r.Elapsed.Round(time.Millisecond),
 			r.Stats.ExploreTime.Round(time.Millisecond), r.Stats.SpecTime.Round(time.Millisecond),
+			SpecCacheHitRate(&r.Stats),
 			r.PaperExecutions, r.PaperFeasible, r.PaperTime)
 	}
 	return b.String()
@@ -320,10 +348,75 @@ type BenchSnapshot struct {
 	Fig8   []Fig8Row `json:"fig8,omitempty"`
 }
 
-// SnapshotSchema identifies the current BenchSnapshot layout.
-const SnapshotSchema = "cdsspec-bench/v1"
+// SnapshotSchema identifies the current BenchSnapshot layout. v2 added
+// the spec_cache_* counters to every Stats record; the layout is
+// otherwise unchanged, so v1 blobs stay readable (their cache counters
+// decode as zero and render as "n/a").
+const SnapshotSchema = "cdsspec-bench/v2"
+
+// SnapshotSchemaV1 is the pre-spec-cache layout, still accepted by
+// ReadSnapshot so CI can diff against archived artifacts.
+const SnapshotSchemaV1 = "cdsspec-bench/v1"
 
 // SnapshotJSON renders the measured rows as an indented JSON snapshot.
 func SnapshotJSON(fig7 []Fig7Row, fig8 []Fig8Row) ([]byte, error) {
 	return json.MarshalIndent(&BenchSnapshot{Schema: SnapshotSchema, Fig7: fig7, Fig8: fig8}, "", "  ")
+}
+
+// ReadSnapshot decodes a BenchSnapshot produced by this or an earlier
+// supported schema version, rejecting unknown schemas outright rather
+// than misreading them.
+func ReadSnapshot(data []byte) (*BenchSnapshot, error) {
+	var s BenchSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	switch s.Schema {
+	case SnapshotSchema, SnapshotSchemaV1:
+		return &s, nil
+	default:
+		return nil, fmt.Errorf("unsupported snapshot schema %q (want %q or %q)",
+			s.Schema, SnapshotSchema, SnapshotSchemaV1)
+	}
+}
+
+// DiffSnapshots renders a row-by-row comparison of two snapshots' Figure
+// 7 measurements: execution counts (which must not drift on exhaustive
+// runs), wall clock, and spec-cache hit rate. CI runs it against the
+// archived previous artifact so a regression in the cache's
+// effectiveness is visible in the job log. Rows present on only one side
+// are reported as added/removed.
+func DiffSnapshots(prev, curr *BenchSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %14s %14s %8s %8s %7s %7s\n",
+		"Benchmark", "execs(old)", "execs(new)", "t(old)", "t(new)", "hit(old)", "hit(new)")
+	oldRows := map[string]Fig7Row{}
+	for _, r := range prev.Fig7 {
+		oldRows[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, n := range curr.Fig7 {
+		seen[n.Name] = true
+		o, ok := oldRows[n.Name]
+		if !ok {
+			fmt.Fprintf(&b, "%-18s %14s %14d %8s %8s %7s %7s   (new row)\n",
+				n.Name, "-", n.Executions, "-", n.Elapsed.Round(time.Millisecond),
+				"-", SpecCacheHitRate(&n.Stats))
+			continue
+		}
+		note := ""
+		if o.Executions != n.Executions {
+			note = "   EXECUTION COUNT CHANGED"
+		}
+		fmt.Fprintf(&b, "%-18s %14d %14d %8s %8s %7s %7s%s\n",
+			n.Name, o.Executions, n.Executions,
+			o.Elapsed.Round(time.Millisecond), n.Elapsed.Round(time.Millisecond),
+			SpecCacheHitRate(&o.Stats), SpecCacheHitRate(&n.Stats), note)
+	}
+	for _, o := range prev.Fig7 {
+		if !seen[o.Name] {
+			fmt.Fprintf(&b, "%-18s %14d %14s   (row removed)\n", o.Name, o.Executions, "-")
+		}
+	}
+	return b.String()
 }

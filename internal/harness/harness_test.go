@@ -139,7 +139,7 @@ func TestFormatters(t *testing.T) {
 // bench-snapshot artifact relies on).
 func TestSnapshotJSON(t *testing.T) {
 	fig7 := []Fig7Row{{Name: "X", Executions: 5, Feasible: 4, Pruned: 1,
-		Stats: checker.Stats{PrunedSleepSet: 1, TotalSteps: 40}}}
+		Stats: checker.Stats{PrunedSleepSet: 1, TotalSteps: 40, SpecCacheHits: 7}}}
 	fig8 := []Fig8Row{{Name: "X", Injections: 3, Detected: 2, Builtin: 2}}
 	blob, err := SnapshotJSON(fig7, fig8)
 	if err != nil {
@@ -157,6 +157,101 @@ func TestSnapshotJSON(t *testing.T) {
 	}
 	if len(snap.Fig8) != 1 || snap.Fig8[0].Detected != 2 {
 		t.Errorf("fig8 rows did not survive the round-trip: %+v", snap.Fig8)
+	}
+	if snap.Fig7[0].Stats.SpecCacheHits != 7 {
+		t.Errorf("spec-cache counters did not survive the round-trip: %+v", snap.Fig7[0].Stats)
+	}
+}
+
+// TestReadSnapshotBackCompat: ReadSnapshot accepts both the current v2
+// schema and archived v1 blobs (whose Stats lack the spec_cache_*
+// fields and must decode as zero / render as n/a), and rejects unknown
+// schemas.
+func TestReadSnapshotBackCompat(t *testing.T) {
+	v1 := []byte(`{
+	  "schema": "cdsspec-bench/v1",
+	  "fig7": [{"name": "X", "executions": 5, "feasible": 4,
+	            "stats": {"histories": 9, "total_steps": 40}}]
+	}`)
+	snap, err := ReadSnapshot(v1)
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if snap.Schema != SnapshotSchemaV1 || len(snap.Fig7) != 1 {
+		t.Fatalf("v1 snapshot misread: %+v", snap)
+	}
+	r := snap.Fig7[0]
+	if r.Stats.Histories != 9 || r.Stats.SpecCacheHits != 0 || r.Stats.SpecCacheMisses != 0 {
+		t.Errorf("v1 stats misread: %+v", r.Stats)
+	}
+	if got := SpecCacheHitRate(&r.Stats); got != "n/a" {
+		t.Errorf("v1 hit rate = %q, want n/a", got)
+	}
+
+	blob, err := SnapshotJSON([]Fig7Row{{Name: "X", Stats: checker.Stats{SpecCacheHits: 3, SpecCacheMisses: 1}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = ReadSnapshot(blob)
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if got := SpecCacheHitRate(&snap.Fig7[0].Stats); got != "75%" {
+		t.Errorf("v2 hit rate = %q, want 75%%", got)
+	}
+
+	if _, err := ReadSnapshot([]byte(`{"schema": "cdsspec-bench/v99"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	if _, err := ReadSnapshot([]byte(`not json`)); err == nil {
+		t.Error("malformed blob accepted")
+	}
+}
+
+// TestDiffSnapshots: the CI diff renderer compares rows by name, flags
+// execution-count drift, and renders v1 sides as n/a hit rate.
+func TestDiffSnapshots(t *testing.T) {
+	old := &BenchSnapshot{Schema: SnapshotSchemaV1, Fig7: []Fig7Row{
+		{Name: "A", Executions: 10},
+		{Name: "Gone", Executions: 3},
+	}}
+	new_ := &BenchSnapshot{Schema: SnapshotSchema, Fig7: []Fig7Row{
+		{Name: "A", Executions: 12, Stats: checker.Stats{SpecCacheHits: 9, SpecCacheMisses: 1}},
+		{Name: "B", Executions: 4, Stats: checker.Stats{SpecCacheHits: 1, SpecCacheMisses: 1}},
+	}}
+	out := DiffSnapshots(old, new_)
+	for _, want := range []string{"EXECUTION COUNT CHANGED", "n/a", "90%", "(new row)", "(row removed)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	same := DiffSnapshots(new_, new_)
+	if strings.Contains(same, "CHANGED") || strings.Contains(same, "removed") {
+		t.Errorf("self-diff should be quiet:\n%s", same)
+	}
+}
+
+// TestFig7CacheColumn: the rendered Figure 7 table carries the cache
+// hit-rate column.
+func TestFig7CacheColumn(t *testing.T) {
+	rows := []Fig7Row{{Name: "X", Stats: checker.Stats{SpecCacheHits: 3, SpecCacheMisses: 1}}}
+	out := FormatFig7(rows)
+	if !strings.Contains(out, "Cache") || !strings.Contains(out, "75%") {
+		t.Errorf("Figure 7 table missing cache column:\n%s", out)
+	}
+}
+
+// TestDisableSpecCacheOption: the harness-level switch reaches the spec.
+func TestDisableSpecCacheOption(t *testing.T) {
+	b := BenchmarkByName("M&S Queue")
+	if b == nil {
+		t.Fatal("M&S Queue benchmark missing")
+	}
+	if !b.spec(Options{DisableSpecCache: true}).DisableCheckCache {
+		t.Error("DisableSpecCache option not applied to the spec")
+	}
+	if b.spec(Options{}).DisableCheckCache {
+		t.Error("cache disabled by default")
 	}
 }
 
@@ -205,6 +300,13 @@ func TestMSQueueParallelDFSDeterminism(t *testing.T) {
 	}
 	if seq.Stats.Histories == 0 {
 		t.Error("spec-layer history count missing from stats")
+	}
+	// The WithoutTimings equality above already covers the spec-cache
+	// counters; additionally require that the cache actually engaged, so
+	// the bit-identity claim is about a nontrivial hit pattern.
+	if seq.Stats.SpecCacheHits == 0 || seq.Stats.SpecCacheMisses == 0 {
+		t.Errorf("spec cache idle on the M&S queue workload: hits=%d misses=%d",
+			seq.Stats.SpecCacheHits, seq.Stats.SpecCacheMisses)
 	}
 	if seq.Elapsed <= 0 || par.Elapsed <= 0 || seq.Stats.ExploreTime <= 0 || seq.Stats.SpecTime <= 0 {
 		t.Errorf("timing fields should be positive: seq elapsed=%v explore=%v spec=%v, par elapsed=%v",
