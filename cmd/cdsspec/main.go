@@ -9,15 +9,19 @@
 //	cdsspec run <benchmark>      explore one benchmark's unit test
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
 //	cdsspec json <benchmark>     print one execution + stats as JSON
-//	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (v1 or v2)
-//	cdsspec list                 list benchmark names
+//	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (any schema)
+//	cdsspec fuzz [benchmark]     run generative campaigns (§6.4's unit-test gap)
+//	cdsspec shrink <benchmark>   minimize a failing generated program
+//	cdsspec list [-v]            list benchmark names (-v: ops, roles, sites)
 //	cdsspec all                  run every experiment in sequence
 //
 // Flags: -workers N (global or per-subcommand), and per-subcommand
 // -json (machine-readable output), -progress (periodic progress to
-// stderr) and -nocache (disable spec-check memoization). Subcommand
-// flags go between the subcommand and its positional arguments:
-// cdsspec run -progress "M&S Queue".
+// stderr) and -nocache (disable spec-check memoization). The fuzz and
+// shrink subcommands add -seed, -count, -budget, -corpus, -weaken and
+// -index (see their help text). Subcommand flags go between the
+// subcommand and its positional arguments: cdsspec run -progress
+// "M&S Queue".
 package main
 
 import (
@@ -44,6 +48,15 @@ type cli struct {
 	jsonOut        bool
 	progress       bool
 	nocache        bool
+
+	// fuzz / shrink / list -v flags.
+	seed       uint64
+	count      int
+	budget     int
+	corpusPath string
+	weaken     string
+	index      int
+	verbose    bool
 }
 
 func (c *cli) opts() harness.Options {
@@ -94,6 +107,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	sub.BoolVar(&c.progress, "progress", false, "print periodic exploration progress to stderr")
 	sub.BoolVar(&c.nocache, "nocache", false, "disable the per-shard spec-check memoization cache")
+	sub.Uint64Var(&c.seed, "seed", 1, "fuzz: program generator seed (same seed = same batch)")
+	sub.IntVar(&c.count, "count", 25, "fuzz: programs to generate per benchmark")
+	sub.IntVar(&c.budget, "budget", 5000, "fuzz: max executions explored per program (0 = exhaustive)")
+	sub.StringVar(&c.corpusPath, "corpus", "", "fuzz/shrink: on-disk corpus JSON to accumulate failures in")
+	sub.StringVar(&c.weaken, "weaken", "", "fuzz/shrink: weaken this memory-order site one step (seeded bug)")
+	sub.IntVar(&c.index, "index", 0, "shrink: corpus entry index among the benchmark's entries")
+	sub.BoolVar(&c.verbose, "v", false, "list: include op registries and memory-order sites")
 	if err := sub.Parse(rest[1:]); err != nil {
 		return 2
 	}
@@ -112,9 +132,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "specstats":
 		c.specStats()
 	case "list":
+		if c.verbose {
+			c.listVerbose()
+			break
+		}
 		for _, b := range harness.Benchmarks() {
 			fmt.Fprintln(c.stdout, b.Name)
 		}
+	case "fuzz":
+		return c.fuzzCmd(pos)
+	case "shrink":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec shrink [-seed N] [-count N] [-budget N] [-weaken site] [-corpus file [-index N]] [-json] <benchmark>")
+			return 2
+		}
+		return c.shrinkCmd(pos[0])
 	case "run":
 		if len(pos) < 1 {
 			fmt.Fprintln(stderr, "usage: cdsspec run [-workers N] [-json] [-progress] <benchmark>")
@@ -161,7 +193,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|list|all} [-json] [-progress] [-nocache]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache]")
+	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
 }
 
 // benchDiff compares two benchmark snapshot files (schema v1 or v2) and

@@ -1,6 +1,9 @@
 package checker
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // FailureKind classifies a problem detected during exploration.
 type FailureKind uint8
@@ -37,6 +40,18 @@ const (
 	// in the wrong Figure 8 channel.
 	numFailureKinds
 )
+
+// FailureKinds returns every defined failure kind in declaration order.
+// Exhaustiveness tests outside this package (the fuzz triage switch, the
+// harness Figure 8 channels) iterate it so a newly added kind cannot
+// silently fall through their classification switches.
+func FailureKinds() []FailureKind {
+	out := make([]FailureKind, 0, numFailureKinds)
+	for k := FailureKind(0); k < numFailureKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
 
 // String returns a short name for the failure kind.
 func (k FailureKind) String() string {
@@ -97,6 +112,22 @@ func (k FailureKind) Channel() string {
 // JSON stable if the enum is ever reordered.
 func (k FailureKind) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
+// UnmarshalJSON decodes a kind from its String() name, so exported
+// failures (bench snapshots, fuzz corpora, shrink results) round-trip.
+func (k *FailureKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, cand := range FailureKinds() {
+		if cand.String() == name {
+			*k = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown failure kind %q", name)
 }
 
 // Failure describes one detected problem, with enough context to act on.

@@ -31,6 +31,18 @@ func TestFailureKindExhaustive(t *testing.T) {
 		t.Fatalf("table covers %d kinds but numFailureKinds = %d: a new kind needs a String/BuiltIn/Channel entry here",
 			len(table), numFailureKinds)
 	}
+	// The exported enumeration must cover exactly the same kinds, in
+	// declaration order — external triage switches (internal/fuzz) rely
+	// on it for their own exhaustiveness tests.
+	kinds := FailureKinds()
+	if len(kinds) != int(numFailureKinds) {
+		t.Fatalf("FailureKinds() returned %d kinds, want %d", len(kinds), numFailureKinds)
+	}
+	for i, k := range kinds {
+		if k != table[i].kind {
+			t.Errorf("FailureKinds()[%d] = %s, want %s", i, k, table[i].kind)
+		}
+	}
 	for _, tc := range table {
 		if got := tc.kind.String(); got != tc.str {
 			t.Errorf("FailureKind(%d).String() = %q, want %q", tc.kind, got, tc.str)
@@ -75,5 +87,20 @@ func TestFailureKindJSON(t *testing.T) {
 		if !strings.Contains(string(fblob), strings.ReplaceAll(want, ": ", ":")) {
 			t.Errorf("Failure JSON missing %s:\n%s", want, fblob)
 		}
+	}
+	// Every kind round-trips through its name; unknown names are rejected.
+	for _, k := range FailureKinds() {
+		blob, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back FailureKind
+		if err := json.Unmarshal(blob, &back); err != nil || back != k {
+			t.Errorf("kind %s does not round-trip: got %s, err %v", k, back, err)
+		}
+	}
+	var bogus FailureKind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &bogus); err == nil {
+		t.Error("unknown kind name unmarshaled without error")
 	}
 }

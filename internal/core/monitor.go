@@ -44,6 +44,24 @@ func FromSys(sys *checker.System) *Monitor {
 // Calls returns the method calls recorded so far.
 func (m *Monitor) Calls() []*Call { return m.calls }
 
+// Fingerprint returns the canonical 64-bit content hash of the calls
+// recorded so far — the same FNV-1a hash the spec-check memoization keys
+// on (see fingerprint in cache.go): call identities, arguments, return
+// values, spec-visible aux values, and the closed ~r~ relation. Two
+// executions with equal fingerprints are indistinguishable to the
+// checking pipeline, which is what makes the hash a sound dedup key for
+// fuzz-campaign failure triage. It is safe on a partially recorded
+// execution (a built-in failure aborts mid-run before calls end); an
+// empty record hashes to 0.
+func (m *Monitor) Fingerprint() uint64 {
+	if m == nil || len(m.calls) == 0 {
+		return 0
+	}
+	r := buildOrderScratch(m.calls, &m.noScratch)
+	_, h := fingerprint(&m.noScratch, m.calls, r)
+	return h
+}
+
 // CallCtx is the instrumentation handle for one method call, carrying the
 // ordering-point annotations of the specification language. For nested
 // API calls the context is inert (the outermost call owns the record).

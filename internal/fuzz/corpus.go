@@ -1,0 +1,120 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// CorpusSchema versions the on-disk corpus layout.
+const CorpusSchema = "cdsspec-fuzz-corpus/v1"
+
+// CorpusEntry is one persisted interesting program: a unique failure
+// found by a campaign, optionally with its shrunk form.
+type CorpusEntry struct {
+	Benchmark string `json:"benchmark"`
+	// Kind is the failure kind's stable string name (FailureKind JSON
+	// encoding), Bucket its triage bucket.
+	Kind   string `json:"kind"`
+	Bucket string `json:"bucket,omitempty"`
+	// Fingerprint is the failing execution's canonical content hash in
+	// hex; (Benchmark, Kind, Fingerprint) is the corpus dedup key.
+	Fingerprint string `json:"fingerprint"`
+	// Msg is the failure's human-readable description.
+	Msg string `json:"msg,omitempty"`
+	// Program is the generated program; Shrunk its minimized form when a
+	// shrink has been run.
+	Program *Program `json:"program"`
+	Shrunk  *Program `json:"shrunk,omitempty"`
+}
+
+func (e *CorpusEntry) key() string {
+	return e.Benchmark + "/" + e.Kind + "/" + e.Fingerprint
+}
+
+// Corpus is the on-disk store of interesting programs. Nightly campaigns
+// persist it via the CI actions cache so failures accumulate across runs.
+type Corpus struct {
+	Schema  string         `json:"schema"`
+	Entries []*CorpusEntry `json:"entries"`
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{Schema: CorpusSchema} }
+
+// LoadCorpus reads a corpus file; a missing file yields an empty corpus
+// (the first campaign run creates it).
+func LoadCorpus(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewCorpus(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading corpus: %w", err)
+	}
+	var c Corpus
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("decoding corpus %s: %w", path, err)
+	}
+	if c.Schema != CorpusSchema {
+		return nil, fmt.Errorf("unsupported corpus schema %q in %s (want %q)", c.Schema, path, CorpusSchema)
+	}
+	return &c, nil
+}
+
+// Save writes the corpus as indented JSON.
+func (c *Corpus) Save(path string) error {
+	blob, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding corpus: %w", err)
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// Add inserts an entry unless an entry with the same key is already
+// present; it reports whether the corpus grew.
+func (c *Corpus) Add(e *CorpusEntry) bool {
+	for _, have := range c.Entries {
+		if have.key() == e.key() {
+			return false
+		}
+	}
+	c.Entries = append(c.Entries, e)
+	return true
+}
+
+// ForBenchmark returns the entries targeting one benchmark, in corpus
+// order.
+func (c *Corpus) ForBenchmark(name string) []*CorpusEntry {
+	var out []*CorpusEntry
+	for _, e := range c.Entries {
+		if e.Benchmark == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// EntryFor builds the corpus entry for one unique verdict.
+func EntryFor(v *Verdict) *CorpusEntry {
+	return &CorpusEntry{
+		Benchmark:   v.Program.Benchmark,
+		Kind:        v.Failure.Kind.String(),
+		Bucket:      v.Bucket,
+		Fingerprint: fmt.Sprintf("%016x", v.Fingerprint),
+		Msg:         v.Failure.Msg,
+		Program:     v.Program,
+	}
+}
+
+// AddCampaign folds a campaign's unique failures into the corpus and
+// returns how many entries were new.
+func (c *Corpus) AddCampaign(camp *Campaign) int {
+	added := 0
+	for _, v := range camp.Unique {
+		if c.Add(EntryFor(v)) {
+			added++
+		}
+	}
+	return added
+}

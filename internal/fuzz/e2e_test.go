@@ -1,0 +1,135 @@
+package fuzz_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/harness"
+)
+
+// spscWeakened returns the SPSC benchmark's target and an order table
+// with the enq_store_next release store weakened to relaxed — the
+// publication edge consumers rely on, so a campaign over the tiny SPSC
+// state space finds the seeded bug almost immediately.
+func spscWeakened(t *testing.T) (*fuzz.Target, *harness.Benchmark) {
+	t.Helper()
+	b := harness.BenchmarkByName("SPSC Queue")
+	if b == nil {
+		t.Fatal("SPSC Queue benchmark missing")
+	}
+	return b.FuzzTarget(), b
+}
+
+// TestCampaignWorkerDeterminism: a campaign's verdicts and summary are
+// bit-identical no matter how many workers explore the programs (only
+// Elapsed, a timing, may differ).
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	target, b := spscWeakened(t)
+	run := func(workers int) *fuzz.Campaign {
+		ord := b.Orders()
+		if !ord.WeakenSite("enq_store_next") {
+			t.Fatal("cannot weaken enq_store_next")
+		}
+		camp, err := fuzz.Run(target, fuzz.CampaignConfig{
+			Seed: 11, Count: 12, Budget: 2000, Workers: workers, Orders: ord,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp.Summary.Elapsed = 0
+		return camp
+	}
+	seq, par := run(1), run(4)
+	if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) {
+		t.Error("verdicts differ between -workers 1 and -workers 4")
+	}
+	if !reflect.DeepEqual(seq.Unique, par.Unique) {
+		t.Error("unique failures differ between -workers 1 and -workers 4")
+	}
+	if !reflect.DeepEqual(seq.Summary, par.Summary) {
+		t.Errorf("summaries differ:\n%+v\n%+v", seq.Summary, par.Summary)
+	}
+	if seq.Summary.Failing == 0 {
+		t.Error("seeded-bug campaign found nothing; the determinism check is vacuous")
+	}
+}
+
+// TestSeededBugEndToEnd is the full pipeline over a seeded bug: weaken
+// one SPSC site, fuzz until the campaign surfaces the failure, shrink
+// the first unique failing program, and confirm the minimal program (a)
+// fails with the same kind and (b) is locally minimal — every valid
+// one-step reduction of it passes.
+func TestSeededBugEndToEnd(t *testing.T) {
+	target, b := spscWeakened(t)
+	ord := b.Orders()
+	if !ord.WeakenSite("enq_store_next") {
+		t.Fatal("cannot weaken enq_store_next")
+	}
+	cfg := fuzz.CampaignConfig{Seed: 1, Count: 15, Budget: 3000, Orders: ord}
+	camp, err := fuzz.Run(target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Unique) == 0 {
+		t.Fatal("campaign did not find the seeded bug")
+	}
+	first := camp.Unique[0]
+	t.Logf("campaign: %d failing, %d unique; first: %s (%s)",
+		camp.Summary.Failing, camp.Summary.Unique, first.Program, first.Failure.Kind)
+
+	res, err := fuzz.Shrink(target, first.Program, ord, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shrunk %d -> %d ops in %d steps (%d attempts): %s",
+		res.Original.OpCount(), res.Minimal.OpCount(), res.Steps, res.Attempts, res.Minimal)
+	if res.Kind != first.Failure.Kind {
+		t.Errorf("shrink changed the failure kind: %s -> %s", first.Failure.Kind, res.Kind)
+	}
+	if res.Verdict.Failure == nil || res.Verdict.Failure.Kind != res.Kind {
+		t.Errorf("minimal program's verdict does not carry the kind: %+v", res.Verdict)
+	}
+	if res.Minimal.OpCount() > res.Original.OpCount() {
+		t.Error("shrink grew the program")
+	}
+
+	// Local minimality: every candidate reduction that still validates
+	// must no longer fail with the same kind.
+	for _, cand := range fuzz.ShrinkCandidates(res.Minimal) {
+		if target.Validate(cand) != nil {
+			continue
+		}
+		v, err := target.Check(cand, ord, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Failure != nil && v.Failure.Kind == res.Kind {
+			t.Errorf("minimal program is not minimal: reduction %s still fails with %s", cand, res.Kind)
+		}
+	}
+}
+
+// TestCleanCampaignAllBenchmarks: a small campaign against every
+// benchmark's correct orders finds nothing — the generated programs do
+// not trip spurious deadlocks/livelocks (the balance constraints at
+// work), and the registries' instance names line up with their specs.
+func TestCleanCampaignAllBenchmarks(t *testing.T) {
+	for _, b := range harness.Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			camp, err := fuzz.Run(b.FuzzTarget(), fuzz.CampaignConfig{Seed: 3, Count: 4, Budget: 1200, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if camp.Summary.Failing != 0 {
+				t.Fatalf("campaign against correct orders failed: %s: %s",
+					camp.Unique[0].Program, camp.Unique[0].Failure.Msg)
+			}
+			if camp.Summary.Executions == 0 {
+				t.Fatal("campaign explored nothing")
+			}
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package fuzz
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+)
+
+// fakeTarget builds a target with an SPSC-shaped registry: roles with
+// caps and both balance constraints, so generation exercises role
+// picking and repair. Apply/New are nil — generation, validation, and
+// shrink-candidate enumeration never invoke them.
+func fakeTarget() *Target {
+	return &Target{
+		Name: "fake",
+		Registry: &Registry{
+			Structure: "fake",
+			Roles:     []Role{{Name: "producer", Max: 1}, {Name: "consumer", Max: 1}},
+			Blocking:  true,
+			Capacity:  2,
+			Ops: []Op{
+				{Name: "enq", Role: "producer", Arity: 1, Produces: 1},
+				{Name: "deq", Role: "consumer", Consumes: 1},
+			},
+		},
+	}
+}
+
+// TestGeneratorDeterminism: the same (seed, config, registry) yields a
+// byte-identical batch; a different seed yields a different one.
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(fakeTarget(), 42, GenConfig{}).Generate(50)
+	b := NewGenerator(fakeTarget(), 42, GenConfig{}).Generate(50)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different batches")
+	}
+	c := NewGenerator(fakeTarget(), 43, GenConfig{}).Generate(50)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical 50-program batches")
+	}
+}
+
+// TestGeneratedProgramsValidate: every generated program satisfies the
+// registry's role caps, arities, and blocking-balance constraints.
+func TestGeneratedProgramsValidate(t *testing.T) {
+	target := fakeTarget()
+	for i, p := range NewGenerator(target, 7, GenConfig{}).Generate(200) {
+		if err := target.Validate(p); err != nil {
+			t.Fatalf("program %d does not validate: %v\n%s", i, err, p)
+		}
+		if p.Index != i {
+			t.Fatalf("program %d records index %d", i, p.Index)
+		}
+	}
+}
+
+// TestValidateRejects: malformed programs are rejected with the specific
+// violation.
+func TestValidateRejects(t *testing.T) {
+	target := fakeTarget()
+	cases := []struct {
+		name string
+		p    *Program
+		want string
+	}{
+		{"unknown role", &Program{Threads: []ThreadSeq{{Role: "pilot", Ops: []OpCall{{Op: "enq", Args: []uint64{1}}}}}}, "unknown role"},
+		{"role cap", &Program{Threads: []ThreadSeq{
+			{Role: "producer", Ops: []OpCall{{Op: "enq", Args: []uint64{1}}}},
+			{Role: "producer", Ops: []OpCall{{Op: "enq", Args: []uint64{1}}}},
+		}}, "exceeds its cap"},
+		{"unknown op", &Program{Threads: []ThreadSeq{{Role: "producer", Ops: []OpCall{{Op: "push", Args: []uint64{1}}}}}}, "unknown op"},
+		{"wrong role for op", &Program{Threads: []ThreadSeq{{Role: "consumer", Ops: []OpCall{{Op: "enq", Args: []uint64{1}}}}}}, "requires role"},
+		{"arity", &Program{Threads: []ThreadSeq{{Role: "producer", Ops: []OpCall{{Op: "enq"}}}}}, "wants 1 args"},
+		{"blocking balance", &Program{Threads: []ThreadSeq{{Role: "consumer", Ops: []OpCall{{Op: "deq"}}}}}, "blocking consume"},
+		{"capacity balance", &Program{Threads: []ThreadSeq{{Role: "producer", Ops: []OpCall{
+			{Op: "enq", Args: []uint64{1}}, {Op: "enq", Args: []uint64{1}}, {Op: "enq", Args: []uint64{1}},
+		}}}}, "capacity"},
+	}
+	for _, tc := range cases {
+		err := target.Validate(tc.p)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTriageBucketExhaustive: every failure kind the checker can report
+// has an explicit non-empty triage bucket — adding a kind without one is
+// a build-the-table-first error, mirroring the harness channel test.
+func TestTriageBucketExhaustive(t *testing.T) {
+	for _, k := range checker.FailureKinds() {
+		if TriageBucket(k) == "" {
+			t.Errorf("failure kind %s has no fuzz triage bucket", k)
+		}
+	}
+	if TriageBucket(checker.FailureKind(255)) != "" {
+		t.Error("an out-of-range kind must map to the empty bucket")
+	}
+}
+
+// TestShrinkCandidates: candidate order is threads (desc), ops (desc),
+// then value shrinks; no candidate aliases the original's memory.
+func TestShrinkCandidates(t *testing.T) {
+	p := &Program{Benchmark: "fake", Threads: []ThreadSeq{
+		{Role: "producer", Ops: []OpCall{{Op: "enq", Args: []uint64{3}}, {Op: "enq", Args: []uint64{1}}}},
+		{Role: "consumer", Ops: []OpCall{{Op: "deq"}}},
+	}}
+	cands := ShrinkCandidates(p)
+	// 2 thread drops + 3 op drops + value shrinks for arg 3 (→1, →2); the
+	// arg already at 1 must not shrink further.
+	if len(cands) != 7 {
+		t.Fatalf("got %d candidates, want 7: %v", len(cands), cands)
+	}
+	if len(cands[0].Threads) != 1 || cands[0].Threads[0].Role != "producer" {
+		t.Errorf("first candidate should drop the last thread: %s", cands[0])
+	}
+	for i, c := range cands {
+		if reflect.DeepEqual(c, p) {
+			t.Errorf("candidate %d equals the original", i)
+		}
+	}
+	// Mutating a candidate must not touch the original (deep clone).
+	cands[0].Threads[0].Ops[0].Args[0] = 99
+	if p.Threads[0].Ops[0].Args[0] != 3 {
+		t.Error("candidate mutation leaked into the original program")
+	}
+}
+
+// TestProgramRendering: the one-line and Go-closure renderings carry the
+// roles, ops, and args.
+func TestProgramRendering(t *testing.T) {
+	p := &Program{Benchmark: "fake", Threads: []ThreadSeq{
+		{Role: "producer", Ops: []OpCall{{Op: "enq", Args: []uint64{2}}}},
+		{Role: "consumer", Ops: []OpCall{{Op: "deq"}}},
+	}}
+	if got, want := p.String(), "t0[producer]: enq(2) | t1[consumer]: deq"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	src := p.GoClosure(fakeTarget().Registry)
+	for _, want := range []string{"fake.New(root, orders)", "inst.Enq(t, 2)", "inst.Deq(t)", "root.Join(t1)", "// role: producer"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("GoClosure missing %q:\n%s", want, src)
+		}
+	}
+	if got, want := goName("read_trylock"), "ReadTrylock"; got != want {
+		t.Errorf("goName = %q, want %q", got, want)
+	}
+}
+
+// TestCorpusRoundTrip: save/load preserves entries, Add dedups on
+// (benchmark, kind, fingerprint), and a missing file loads empty.
+func TestCorpusRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	c, err := LoadCorpus(path)
+	if err != nil || len(c.Entries) != 0 {
+		t.Fatalf("missing corpus: got %v, %v; want empty, nil", c.Entries, err)
+	}
+	v := &Verdict{
+		Program: &Program{Benchmark: "fake", Threads: []ThreadSeq{
+			{Role: "producer", Ops: []OpCall{{Op: "enq", Args: []uint64{1}}}},
+		}},
+		Failure:     &checker.Failure{Kind: checker.FailAssertion, Msg: "boom"},
+		Bucket:      TriageBucket(checker.FailAssertion),
+		Fingerprint: 0xdeadbeef,
+	}
+	if !c.Add(EntryFor(v)) {
+		t.Fatal("first Add returned false")
+	}
+	if c.Add(EntryFor(v)) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, c) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", back, c)
+	}
+	got := back.ForBenchmark("fake")
+	if len(got) != 1 || got[0].Fingerprint != "00000000deadbeef" || got[0].Kind != "assertion" {
+		t.Fatalf("ForBenchmark = %+v", got)
+	}
+	if len(back.ForBenchmark("other")) != 0 {
+		t.Fatal("ForBenchmark leaked entries across benchmarks")
+	}
+}
+
+// TestCorpusRejectsUnknownSchema: a corpus written by a future schema is
+// refused, not misread.
+func TestCorpusRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	c := &Corpus{Schema: "cdsspec-fuzz-corpus/v999"}
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("LoadCorpus = %v, want schema error", err)
+	}
+}

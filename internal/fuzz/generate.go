@@ -1,0 +1,173 @@
+package fuzz
+
+import (
+	"math/rand/v2"
+)
+
+// GenConfig bounds the shape of generated programs. The zero value uses
+// the defaults, which stay close to the paper's unit-test scale (≤3
+// threads, a few calls per thread) while still generating scenarios the
+// hand-written tests never cover.
+type GenConfig struct {
+	// MaxThreads bounds the simulated threads per program (default 3).
+	MaxThreads int
+	// MaxOpsPerThread bounds each thread's op-sequence length (default 4).
+	MaxOpsPerThread int
+	// ValueDomain is the size of the argument-value domain: args are
+	// drawn uniformly from 1..ValueDomain (default 3). Small domains make
+	// value collisions — the interesting case for specs — likely.
+	ValueDomain int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 3
+	}
+	if c.MaxOpsPerThread == 0 {
+		c.MaxOpsPerThread = 4
+	}
+	if c.ValueDomain == 0 {
+		c.ValueDomain = 3
+	}
+	return c
+}
+
+// Generator draws programs for one target from a PCG stream. The stream
+// is the only entropy source, so the same (seed, config, registry)
+// triple yields a byte-identical program sequence — the determinism
+// discipline the parallel engine already follows: generate everything on
+// one goroutine, fan the work out afterwards.
+type Generator struct {
+	target *Target
+	cfg    GenConfig
+	rng    *rand.Rand
+	seed   uint64
+	next   int
+}
+
+// NewGenerator builds a deterministic generator for the target.
+func NewGenerator(t *Target, seed uint64, cfg GenConfig) *Generator {
+	return &Generator{
+		target: t,
+		cfg:    cfg.withDefaults(),
+		// Both PCG words are seed-derived; the odd constant is the
+		// splitmix64 increment, only here to decorrelate the two words.
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed: seed,
+	}
+}
+
+// Next generates the next program. Every returned program validates
+// against the target's registry.
+func (g *Generator) Next() *Program {
+	cfg := g.cfg
+	reg := g.target.Registry
+	p := &Program{Benchmark: g.target.Name, Seed: g.seed, Index: g.next}
+	g.next++
+
+	threads := 1 + g.rng.IntN(cfg.MaxThreads)
+	roleCount := map[string]int{}
+	for ti := 0; ti < threads; ti++ {
+		role, ok := g.pickRole(reg, roleCount)
+		if !ok {
+			continue // every role is at its cap; program gets fewer threads
+		}
+		roleCount[role]++
+		opIdx := reg.opsForRole(role)
+		if len(opIdx) == 0 {
+			roleCount[role]--
+			continue
+		}
+		ts := ThreadSeq{Role: role}
+		seqLen := 1 + g.rng.IntN(cfg.MaxOpsPerThread)
+		for oi := 0; oi < seqLen; oi++ {
+			op := &reg.Ops[opIdx[g.rng.IntN(len(opIdx))]]
+			oc := OpCall{Op: op.Name}
+			for a := 0; a < op.Arity; a++ {
+				oc.Args = append(oc.Args, uint64(1+g.rng.IntN(cfg.ValueDomain)))
+			}
+			ts.Ops = append(ts.Ops, oc)
+		}
+		p.Threads = append(p.Threads, ts)
+	}
+	g.repair(reg, p)
+	return p
+}
+
+// pickRole draws a role uniformly among the ones not yet at their cap.
+func (g *Generator) pickRole(reg *Registry, count map[string]int) (string, bool) {
+	if len(reg.Roles) == 0 {
+		return "", true
+	}
+	var eligible []string
+	for _, r := range reg.Roles {
+		if r.Max == 0 || count[r.Name] < r.Max {
+			eligible = append(eligible, r.Name)
+		}
+	}
+	if len(eligible) == 0 {
+		return "", false
+	}
+	return eligible[g.rng.IntN(len(eligible))], true
+}
+
+// repair trims ops until the blocking-balance constraints hold (see
+// Registry.Blocking/Capacity), dropping from the tail of the last thread
+// first so the cut is deterministic. Threads left empty are removed.
+func (g *Generator) repair(reg *Registry, p *Program) {
+	produces, consumes := p.balance(reg)
+	trim := func(consume bool) bool {
+		for ti := len(p.Threads) - 1; ti >= 0; ti-- {
+			ops := p.Threads[ti].Ops
+			for oi := len(ops) - 1; oi >= 0; oi-- {
+				op := reg.Op(ops[oi].Op)
+				if consume && op.Consumes > 0 || !consume && op.Produces > 0 {
+					produces -= op.Produces
+					consumes -= op.Consumes
+					p.Threads[ti].Ops = append(ops[:oi], ops[oi+1:]...)
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for reg.Blocking && consumes > produces {
+		if !trim(true) {
+			break
+		}
+	}
+	for reg.Capacity > 0 && produces > consumes+reg.Capacity {
+		if !trim(false) {
+			break
+		}
+	}
+	kept := p.Threads[:0]
+	for _, ts := range p.Threads {
+		if len(ts.Ops) > 0 {
+			kept = append(kept, ts)
+		}
+	}
+	p.Threads = kept
+}
+
+// balance totals the program's Produces/Consumes under the registry.
+func (p *Program) balance(reg *Registry) (produces, consumes int) {
+	for _, ts := range p.Threads {
+		for _, oc := range ts.Ops {
+			if op := reg.Op(oc.Op); op != nil {
+				produces += op.Produces
+				consumes += op.Consumes
+			}
+		}
+	}
+	return produces, consumes
+}
+
+// Generate draws count programs in one batch.
+func (g *Generator) Generate(count int) []*Program {
+	out := make([]*Program, count)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/memmodel"
+)
+
+// OpCall is one operation invocation in a generated program.
+type OpCall struct {
+	Op   string           `json:"op"`
+	Args []memmodel.Value `json:"args,omitempty"`
+}
+
+// ThreadSeq is one simulated thread: its role and op sequence.
+type ThreadSeq struct {
+	Role string   `json:"role,omitempty"`
+	Ops  []OpCall `json:"ops"`
+}
+
+// Program is one generated scenario: threads × op sequences, with the
+// provenance needed to regenerate or triage it. It is the unit the
+// corpus persists and the shrinker minimizes.
+type Program struct {
+	// Benchmark names the harness benchmark the program targets.
+	Benchmark string `json:"benchmark"`
+	// Seed and Index record provenance: the campaign seed and the
+	// program's position in the generated batch.
+	Seed  uint64 `json:"seed,omitempty"`
+	Index int    `json:"index,omitempty"`
+
+	Threads []ThreadSeq `json:"threads"`
+}
+
+// Clone returns a deep copy (the shrinker mutates candidates freely).
+func (p *Program) Clone() *Program {
+	out := *p
+	out.Threads = make([]ThreadSeq, len(p.Threads))
+	for i, ts := range p.Threads {
+		out.Threads[i] = ThreadSeq{Role: ts.Role, Ops: make([]OpCall, len(ts.Ops))}
+		for j, oc := range ts.Ops {
+			cp := oc
+			cp.Args = append([]memmodel.Value(nil), oc.Args...)
+			out.Threads[i].Ops[j] = cp
+		}
+	}
+	return &out
+}
+
+// OpCount returns the total number of op invocations across all threads.
+func (p *Program) OpCount() int {
+	n := 0
+	for _, ts := range p.Threads {
+		n += len(ts.Ops)
+	}
+	return n
+}
+
+// String renders the program on one line, e.g.
+// "t0[owner]: push(1) take | t1[thief]: steal".
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, ts := range p.Threads {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "t%d", i)
+		if ts.Role != "" {
+			fmt.Fprintf(&b, "[%s]", ts.Role)
+		}
+		b.WriteString(":")
+		for _, oc := range ts.Ops {
+			b.WriteString(" ")
+			b.WriteString(formatOpCall(oc))
+		}
+	}
+	return b.String()
+}
+
+func formatOpCall(oc OpCall) string {
+	if len(oc.Args) == 0 {
+		return oc.Op
+	}
+	args := make([]string, len(oc.Args))
+	for i, a := range oc.Args {
+		args[i] = fmt.Sprintf("%d", a)
+	}
+	return fmt.Sprintf("%s(%s)", oc.Op, strings.Join(args, ", "))
+}
+
+// GoClosure renders the program as runnable Go-closure pseudocode in the
+// style of the hand-written unit tests in harness/benchmarks.go, so a
+// shrunk counterexample can be pasted into a report (op names stand in
+// for the structure's method calls).
+func (p *Program) GoClosure(reg *Registry) string {
+	var b strings.Builder
+	structure := "structure"
+	if reg != nil {
+		structure = reg.Structure
+	}
+	fmt.Fprintf(&b, "// benchmark: %s\n", p.Benchmark)
+	fmt.Fprintf(&b, "func(root *checker.Thread) {\n")
+	fmt.Fprintf(&b, "\tinst := %s.New(root, orders)\n", structure)
+	for i, ts := range p.Threads {
+		role := ""
+		if ts.Role != "" {
+			role = fmt.Sprintf(" // role: %s", ts.Role)
+		}
+		fmt.Fprintf(&b, "\tt%d := root.Spawn(\"t%d\", func(t *checker.Thread) {%s\n", i, i, role)
+		for _, oc := range ts.Ops {
+			args := make([]string, 0, len(oc.Args)+1)
+			args = append(args, "t")
+			for _, a := range oc.Args {
+				args = append(args, fmt.Sprintf("%d", a))
+			}
+			fmt.Fprintf(&b, "\t\tinst.%s(%s)\n", goName(oc.Op), strings.Join(args, ", "))
+		}
+		fmt.Fprintf(&b, "\t})\n")
+	}
+	for i := range p.Threads {
+		fmt.Fprintf(&b, "\troot.Join(t%d)\n", i)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+// goName renders an op name like "read_trylock" as the exported-method
+// style "ReadTrylock".
+func goName(op string) string {
+	parts := strings.Split(op, "_")
+	for i, p := range parts {
+		if p != "" {
+			parts[i] = strings.ToUpper(p[:1]) + p[1:]
+		}
+	}
+	return strings.Join(parts, "")
+}

@@ -1,0 +1,110 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/memmodel"
+)
+
+// ShrinkResult is the outcome of minimizing a failing program.
+type ShrinkResult struct {
+	// Original and Minimal bracket the reduction.
+	Original *Program `json:"original"`
+	Minimal  *Program `json:"minimal"`
+	// Kind is the failure kind held stable throughout the reduction.
+	Kind checker.FailureKind `json:"kind"`
+	// Verdict is the minimal program's verdict (same Kind, by
+	// construction).
+	Verdict *Verdict `json:"verdict"`
+	// Steps counts accepted reductions; Attempts counts candidate
+	// re-checks (accepted or not).
+	Steps    int `json:"steps"`
+	Attempts int `json:"attempts"`
+}
+
+// ShrinkCandidates enumerates the single-step reductions of a program in
+// the order the shrinker tries them: drop a whole thread (largest index
+// first — also how thread counts get lowered), drop one op (from the
+// tail), then shrink an argument value (to 1, else decrement). The
+// shrinker accepts the first candidate that still fails with the same
+// kind; a program none of whose candidates reproduce the failure is
+// locally minimal. Candidates are not validated here — callers skip the
+// ones the registry rejects.
+func ShrinkCandidates(p *Program) []*Program {
+	var out []*Program
+	for ti := len(p.Threads) - 1; ti >= 0; ti-- {
+		c := p.Clone()
+		c.Threads = append(c.Threads[:ti], c.Threads[ti+1:]...)
+		out = append(out, c)
+	}
+	for ti := len(p.Threads) - 1; ti >= 0; ti-- {
+		for oi := len(p.Threads[ti].Ops) - 1; oi >= 0; oi-- {
+			c := p.Clone()
+			ops := c.Threads[ti].Ops
+			c.Threads[ti].Ops = append(ops[:oi], ops[oi+1:]...)
+			if len(c.Threads[ti].Ops) == 0 {
+				c.Threads = append(c.Threads[:ti], c.Threads[ti+1:]...)
+			}
+			out = append(out, c)
+		}
+	}
+	for ti := range p.Threads {
+		for oi := range p.Threads[ti].Ops {
+			for ai, a := range p.Threads[ti].Ops[oi].Args {
+				for _, smaller := range []memmodel.Value{1, a - 1} {
+					if smaller >= a || smaller < 1 {
+						continue
+					}
+					c := p.Clone()
+					c.Threads[ti].Ops[oi].Args[ai] = smaller
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Shrink minimizes a failing program by greedy delta debugging: at each
+// round it re-checks the candidates of ShrinkCandidates in order and
+// restarts from the first one that (a) still validates against the
+// registry and (b) still fails with the same FailureKind. It returns
+// when no candidate survives — the result is locally minimal: removing
+// any single thread or op, or shrinking any value, loses the failure.
+// ord nil means the target's default orders (a seeded-bug shrink passes
+// the same weakened table the campaign used).
+func Shrink(t *Target, p *Program, ord *memmodel.OrderTable, cfg CampaignConfig) (*ShrinkResult, error) {
+	v, err := t.Check(p, ord, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if v.Failure == nil {
+		return nil, fmt.Errorf("shrink %s: program does not fail under the given orders: %s", t.Name, p)
+	}
+	res := &ShrinkResult{Original: p.Clone(), Kind: v.Failure.Kind, Verdict: v}
+	cur := p.Clone()
+	for {
+		reduced := false
+		for _, cand := range ShrinkCandidates(cur) {
+			if t.Validate(cand) != nil {
+				continue // would be able to block forever, or breaks a role cap
+			}
+			res.Attempts++
+			cv, err := t.Check(cand, ord, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cv.Failure != nil && cv.Failure.Kind == res.Kind {
+				cur, res.Verdict = cand, cv
+				res.Steps++
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			res.Minimal = cur
+			return res, nil
+		}
+	}
+}

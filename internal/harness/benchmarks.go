@@ -47,6 +47,7 @@ func BenchmarkByName(name string) *Benchmark {
 func chaselevBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "Chase-Lev Deque",
+		Ops:    chaselev.FuzzOps,
 		Spec:   func() *core.Spec { return chaselev.Spec("d") },
 		Orders: chaselev.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -96,6 +97,7 @@ func chaselevBenchmark() *Benchmark {
 func spscBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "SPSC Queue",
+		Ops:    spsc.FuzzOps,
 		Spec:   func() *core.Spec { return spsc.Spec("q") },
 		Orders: spsc.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -122,6 +124,7 @@ func spscBenchmark() *Benchmark {
 func rcuBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "RCU",
+		Ops:    rcu.FuzzOps,
 		Spec:   func() *core.Spec { return rcu.Spec("r", 100) },
 		Orders: rcu.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -145,6 +148,7 @@ func rcuBenchmark() *Benchmark {
 func lockfreehashBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "Lockfree Hashtable",
+		Ops:    lockfreehash.FuzzOps,
 		Spec:   func() *core.Spec { return lockfreehash.Spec("h") },
 		Orders: lockfreehash.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -175,6 +179,7 @@ func lockfreehashBenchmark() *Benchmark {
 func mcslockBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "MCS Lock",
+		Ops:    mcslock.FuzzOps,
 		Spec:   func() *core.Spec { return mcslock.Spec("l") },
 		Orders: mcslock.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -213,6 +218,7 @@ func mcslockBenchmark() *Benchmark {
 func mpmcBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "MPMC Queue",
+		Ops:    mpmc.FuzzOps,
 		Spec:   func() *core.Spec { return mpmc.Spec("q", 2) },
 		Orders: mpmc.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -247,6 +253,7 @@ func mpmcBenchmark() *Benchmark {
 func msqueueBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "M&S Queue",
+		Ops:    msqueue.FuzzOps,
 		Spec:   func() *core.Spec { return msqueue.Spec("q") },
 		Orders: msqueue.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -288,6 +295,7 @@ func msqueueBenchmark() *Benchmark {
 func linuxrwlockBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "Linux RW Lock",
+		Ops:    linuxrwlock.FuzzOps,
 		Spec:   func() *core.Spec { return linuxrwlock.Spec("l") },
 		Orders: linuxrwlock.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -333,6 +341,7 @@ func linuxrwlockBenchmark() *Benchmark {
 func seqlockBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "Seqlock",
+		Ops:    seqlock.FuzzOps,
 		Spec:   func() *core.Spec { return seqlock.Spec("s") },
 		Orders: seqlock.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {
@@ -359,6 +368,7 @@ func seqlockBenchmark() *Benchmark {
 func ticketlockBenchmark() *Benchmark {
 	return &Benchmark{
 		Name:   "Ticket Lock",
+		Ops:    ticketlock.FuzzOps,
 		Spec:   func() *core.Spec { return ticketlock.Spec("l") },
 		Orders: ticketlock.DefaultOrders,
 		Progs: func(ord *memmodel.OrderTable) []func(*checker.Thread) {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/memmodel"
 )
 
@@ -114,6 +115,9 @@ type Benchmark struct {
 	// §6.4.3 phenomenon) or a modification-order anomaly our model
 	// excludes (DESIGN.md limitation 2).
 	UndetectableSites map[string]bool
+	// Ops returns the structure's fuzzable client-operation registry,
+	// from which the generative campaigns build programs.
+	Ops func() *fuzz.Registry
 
 	// Paper numbers (Figures 7 and 8).
 	PaperExecutions, PaperFeasible     int
@@ -121,6 +125,18 @@ type Benchmark struct {
 	PaperInjections, PaperBuiltin      int
 	PaperAdmissibility, PaperAssertion int
 	PaperRatePercent                   int
+}
+
+// FuzzTarget bundles the benchmark's spec, orders, and op registry into
+// the fuzz package's target form, so campaigns check generated programs
+// against the same specification the hand-written unit tests use.
+func (b *Benchmark) FuzzTarget() *fuzz.Target {
+	return &fuzz.Target{
+		Name:     b.Name,
+		Spec:     b.Spec,
+		Orders:   b.Orders,
+		Registry: b.Ops(),
+	}
 }
 
 // Fig7Row is one measured row of Figure 7, with the observability extras
@@ -343,16 +359,22 @@ func FormatFig8(rows []Fig8Row) string {
 // the payload, so two runs of the same tree produce comparable blobs.
 type BenchSnapshot struct {
 	// Schema versions the blob layout.
-	Schema string    `json:"schema"`
-	Fig7   []Fig7Row `json:"fig7,omitempty"`
-	Fig8   []Fig8Row `json:"fig8,omitempty"`
+	Schema string         `json:"schema"`
+	Fig7   []Fig7Row      `json:"fig7,omitempty"`
+	Fig8   []Fig8Row      `json:"fig8,omitempty"`
+	Fuzz   []fuzz.Summary `json:"fuzz,omitempty"`
 }
 
-// SnapshotSchema identifies the current BenchSnapshot layout. v2 added
-// the spec_cache_* counters to every Stats record; the layout is
-// otherwise unchanged, so v1 blobs stay readable (their cache counters
-// decode as zero and render as "n/a").
-const SnapshotSchema = "cdsspec-bench/v2"
+// SnapshotSchema identifies the current BenchSnapshot layout. v3 added
+// the optional fuzz-campaign summaries; v2 added the spec_cache_*
+// counters to every Stats record. Both changes are additive, so older
+// blobs stay readable (missing fields decode as zero and render as
+// "n/a").
+const SnapshotSchema = "cdsspec-bench/v3"
+
+// SnapshotSchemaV2 is the pre-fuzz layout, still accepted by
+// ReadSnapshot so CI can diff against archived artifacts.
+const SnapshotSchemaV2 = "cdsspec-bench/v2"
 
 // SnapshotSchemaV1 is the pre-spec-cache layout, still accepted by
 // ReadSnapshot so CI can diff against archived artifacts.
@@ -372,11 +394,11 @@ func ReadSnapshot(data []byte) (*BenchSnapshot, error) {
 		return nil, fmt.Errorf("decoding snapshot: %w", err)
 	}
 	switch s.Schema {
-	case SnapshotSchema, SnapshotSchemaV1:
+	case SnapshotSchema, SnapshotSchemaV2, SnapshotSchemaV1:
 		return &s, nil
 	default:
-		return nil, fmt.Errorf("unsupported snapshot schema %q (want %q or %q)",
-			s.Schema, SnapshotSchema, SnapshotSchemaV1)
+		return nil, fmt.Errorf("unsupported snapshot schema %q (want %q, %q, or %q)",
+			s.Schema, SnapshotSchema, SnapshotSchemaV2, SnapshotSchemaV1)
 	}
 }
 

@@ -22,16 +22,26 @@ type Site struct {
 // individual sites without touching the implementation.
 type OrderTable struct {
 	sites []Site
-	cur   map[string]MemOrder
+	// defs indexes the site definitions by name. It is immutable after
+	// NewOrderTable and shared by Clone, so per-site lookups (Site,
+	// WeakenSite) are map hits rather than linear scans — fuzz campaigns
+	// that sweep injected orders call them per generated program.
+	defs map[string]Site
+	cur  map[string]MemOrder
 }
 
 // NewOrderTable builds a table with every site at its default order.
 func NewOrderTable(sites ...Site) *OrderTable {
-	t := &OrderTable{sites: sites, cur: make(map[string]MemOrder, len(sites))}
+	t := &OrderTable{
+		sites: sites,
+		defs:  make(map[string]Site, len(sites)),
+		cur:   make(map[string]MemOrder, len(sites)),
+	}
 	for _, s := range sites {
 		if _, dup := t.cur[s.Name]; dup {
 			panic(fmt.Sprintf("duplicate site %q", s.Name))
 		}
+		t.defs[s.Name] = s
 		t.cur[s.Name] = s.Default
 	}
 	return t
@@ -64,17 +74,13 @@ func (t *OrderTable) Sites() []Site {
 
 // Site returns the definition of a named site.
 func (t *OrderTable) Site(name string) (Site, bool) {
-	for _, s := range t.sites {
-		if s.Name == name {
-			return s, true
-		}
-	}
-	return Site{}, false
+	s, ok := t.defs[name]
+	return s, ok
 }
 
 // Clone returns an independent copy with the same current orders.
 func (t *OrderTable) Clone() *OrderTable {
-	n := &OrderTable{sites: t.sites, cur: make(map[string]MemOrder, len(t.cur))}
+	n := &OrderTable{sites: t.sites, defs: t.defs, cur: make(map[string]MemOrder, len(t.cur))}
 	for k, v := range t.cur {
 		n.cur[k] = v
 	}

@@ -1,0 +1,30 @@
+package chaselev
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the deque's fuzzable client surface: a single owner
+// pushes and takes at the bottom, any number of thieves steal from the
+// top. The instance name must match the harness benchmark's Spec name
+// ("d"); the capacity matches the benchmark so generated programs can
+// force resizes.
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "chaselev",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "d", ord, 2)
+		},
+		Roles: []fuzz.Role{{Name: "owner", Max: 1}, {Name: "thief"}},
+		Ops: []fuzz.Op{
+			{Name: "push", Role: "owner", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Deque).Push(t, a[0]) }},
+			{Name: "take", Role: "owner",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Deque).Take(t) }},
+			{Name: "steal", Role: "thief",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Deque).Steal(t) }},
+		},
+	}
+}

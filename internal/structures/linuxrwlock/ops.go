@@ -1,0 +1,61 @@
+package linuxrwlock
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// fuzzRW pairs the lock with a plain cell it protects so weakened lock
+// orders surface as data races between readers and a writer.
+type fuzzRW struct {
+	l    *RWLock
+	data *checker.Plain
+}
+
+// FuzzOps returns the rwlock's fuzzable client surface. As with the
+// mutual-exclusion locks, operations are whole critical sections so no
+// generated program can leave a lock held. The trylock variants only
+// touch the data (and unlock) when acquisition succeeded, mirroring
+// correct client code. The instance name matches the benchmark's Spec
+// ("l").
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "linuxrwlock",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return &fuzzRW{l: New(root, "l", ord), data: root.NewPlainInit("l.data", 0)}
+		},
+		Ops: []fuzz.Op{
+			{Name: "read_lock_unlock",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) {
+					rw := inst.(*fuzzRW)
+					rw.l.ReadLock(t)
+					rw.data.Load(t)
+					rw.l.ReadUnlock(t)
+				}},
+			{Name: "write_lock_unlock", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) {
+					rw := inst.(*fuzzRW)
+					rw.l.WriteLock(t)
+					rw.data.Store(t, a[0])
+					rw.l.WriteUnlock(t)
+				}},
+			{Name: "read_trylock",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) {
+					rw := inst.(*fuzzRW)
+					if rw.l.ReadTryLock(t) == 1 {
+						rw.data.Load(t)
+						rw.l.ReadUnlock(t)
+					}
+				}},
+			{Name: "write_trylock", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) {
+					rw := inst.(*fuzzRW)
+					if rw.l.WriteTryLock(t) == 1 {
+						rw.data.Store(t, a[0])
+						rw.l.WriteUnlock(t)
+					}
+				}},
+		},
+	}
+}

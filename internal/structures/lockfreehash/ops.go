@@ -1,0 +1,29 @@
+package lockfreehash
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the table's fuzzable client surface: puts and gets
+// from any thread. Both are non-blocking (the internal segment-mutex
+// fallback is always paired), so there are no balance constraints. Keys
+// and values come from the generator's small domain, which makes the
+// contended same-key scenarios the benchmark hand-writes the common
+// case. The instance name and segment count match the benchmark's Spec
+// ("h", 4).
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "lockfreehash",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "h", ord, 4)
+		},
+		Ops: []fuzz.Op{
+			{Name: "put", Arity: 2,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Table).Put(t, a[0], a[1]) }},
+			{Name: "get", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Table).Get(t, a[0]) }},
+		},
+	}
+}

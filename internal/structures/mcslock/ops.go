@@ -1,0 +1,44 @@
+package mcslock
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// fuzzLock pairs the lock with a plain counter it protects, so weakened
+// lock orders surface as data races or lost updates — the same two
+// detection channels the benchmark's hand-written "data" workload
+// exercises.
+type fuzzLock struct {
+	l   *Lock
+	cnt *checker.Plain
+}
+
+// FuzzOps returns the lock's fuzzable client surface. Client operations
+// are whole critical sections (lock ... unlock), never bare acquires:
+// an unpaired lock would deadlock every generated program that follows
+// it. The instance name matches the benchmark's Spec ("l").
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "mcslock",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return &fuzzLock{l: New(root, "l", ord), cnt: root.NewPlainInit("l.cnt", 0)}
+		},
+		Ops: []fuzz.Op{
+			{Name: "lock_unlock",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) {
+					fl := inst.(*fuzzLock)
+					fl.l.Lock(t)
+					fl.l.Unlock(t)
+				}},
+			{Name: "lock_inc_unlock",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) {
+					fl := inst.(*fuzzLock)
+					fl.l.Lock(t)
+					fl.cnt.Store(t, fl.cnt.Load(t)+1)
+					fl.l.Unlock(t)
+				}},
+		},
+	}
+}

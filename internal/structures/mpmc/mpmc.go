@@ -170,9 +170,12 @@ func Spec(name string, capacity int) *core.Spec {
 		Admissibility: []core.AdmitRule{
 			{
 				// The consumer handoff: a deq takes its value from the
-				// enq at the same position.
+				// enq at the same position. Matching on the recorded
+				// position (not the value) keeps the rule precise when
+				// distinct enqs carry duplicate values — a deq returning
+				// such a value is unrelated to the other same-value enqs.
 				M1: name + ".deq", M2: name + ".enq",
-				MustOrder: func(d, e *core.Call) bool { return d.Ret == e.Arg(0) },
+				MustOrder: func(d, e *core.Call) bool { return d.GetAux("pos") == e.GetAux("pos") },
 			},
 			{
 				// The reuse handoff: an enq reoccupies a slot only after

@@ -1,0 +1,33 @@
+package mpmc
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the queue's fuzzable client surface: any number of
+// producers and consumers. Enq blocks when the buffer is full and Deq
+// blocks when it is empty, so the registry carries both balance
+// constraints: total deqs ≤ total enqs (Blocking) and total enqs ≤
+// deqs + capacity (Capacity). With producers never consuming and
+// consumers never producing, those bounds make every valid program
+// deadlock-free in every interleaving. The instance name and capacity
+// match the benchmark's Spec ("q", 2).
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "mpmc",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "q", ord, 2)
+		},
+		Roles:    []fuzz.Role{{Name: "producer"}, {Name: "consumer"}},
+		Blocking: true,
+		Capacity: 2,
+		Ops: []fuzz.Op{
+			{Name: "enq", Role: "producer", Arity: 1, Produces: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Queue).Enq(t, a[0]) }},
+			{Name: "deq", Role: "consumer", Consumes: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Queue).Deq(t) }},
+		},
+	}
+}

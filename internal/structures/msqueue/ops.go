@@ -1,0 +1,27 @@
+package msqueue
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the queue's fuzzable client surface: enqueues and
+// dequeues from any thread. Deq is non-blocking (it returns Empty when
+// the queue has no elements), so there are no roles or balance
+// constraints — any program terminates. The instance name matches the
+// benchmark's Spec ("q").
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "msqueue",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "q", ord)
+		},
+		Ops: []fuzz.Op{
+			{Name: "enq", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Queue).Enq(t, a[0]) }},
+			{Name: "deq",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Queue).Deq(t) }},
+		},
+	}
+}

@@ -1,0 +1,29 @@
+package rcu
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the cell's fuzzable client surface: any number of
+// readers, at most one writer (updates are externally synchronized in
+// classic RCU usage, and the simulated Update assumes it). Update waits
+// for the grace period but readers always finish, so every program
+// terminates. The instance name and initial value match the benchmark's
+// Spec ("r", 100).
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "rcu",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "r", ord, 100)
+		},
+		Roles: []fuzz.Role{{Name: "writer", Max: 1}, {Name: "reader"}},
+		Ops: []fuzz.Op{
+			{Name: "update", Role: "writer", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*RCU).Update(t, a[0]) }},
+			{Name: "read", Role: "reader",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*RCU).Read(t) }},
+		},
+	}
+}

@@ -1,0 +1,27 @@
+package seqlock
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the seqlock's fuzzable client surface: writes and
+// reads from any thread (Write is a CAS loop, so concurrent writers are
+// allowed). Read retries until it observes a stable sequence number but
+// always terminates once writers quiesce, so no balance constraints are
+// needed. The instance name matches the benchmark's Spec ("s").
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "seqlock",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "s", ord)
+		},
+		Ops: []fuzz.Op{
+			{Name: "write", Arity: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Seqlock).Write(t, a[0]) }},
+			{Name: "read",
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Seqlock).Read(t) }},
+		},
+	}
+}

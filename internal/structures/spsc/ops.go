@@ -1,0 +1,31 @@
+package spsc
+
+import (
+	"repro/internal/checker"
+	"repro/internal/fuzz"
+	"repro/internal/memmodel"
+)
+
+// FuzzOps returns the queue's fuzzable client surface: exactly one
+// producer enqueues and one consumer dequeues (the structure's usage
+// contract). Deq blocks until an element arrives, so the registry is
+// marked Blocking: the generator keeps total deqs ≤ total enqs, and
+// since the producer never blocks, every valid program is deadlock-free
+// in every interleaving. The instance name matches the benchmark's Spec
+// name ("q").
+func FuzzOps() *fuzz.Registry {
+	return &fuzz.Registry{
+		Structure: "spsc",
+		New: func(root *checker.Thread, ord *memmodel.OrderTable) any {
+			return New(root, "q", ord)
+		},
+		Roles:    []fuzz.Role{{Name: "producer", Max: 1}, {Name: "consumer", Max: 1}},
+		Blocking: true,
+		Ops: []fuzz.Op{
+			{Name: "enq", Role: "producer", Arity: 1, Produces: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Queue).Enq(t, a[0]) }},
+			{Name: "deq", Role: "consumer", Consumes: 1,
+				Apply: func(inst any, t *checker.Thread, a []memmodel.Value) { inst.(*Queue).Deq(t) }},
+		},
+	}
+}
