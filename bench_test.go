@@ -231,3 +231,37 @@ func BenchmarkCheckerThroughput(b *testing.B) {
 		b.ReportMetric(float64(res.Executions), "executions")
 	}
 }
+
+// BenchmarkExploreHotPath is the kernel hot-path gate: each paper
+// benchmark's primary unit test explored through the bare checker (no
+// spec monitor, so the measurement isolates the memory-model kernel),
+// with the hot-path optimizations on ("opt", the defaults) and off
+// ("base"). Compare ns/op and allocs/op between the two modes; the
+// cdsspec kernelbench subcommand records the same comparison into
+// BENCH_kernel.json.
+func BenchmarkExploreHotPath(b *testing.B) {
+	modes := []struct {
+		name string
+		opts harness.Options
+	}{
+		{"opt", harness.Options{}},
+		{"base", harness.Options{DisableKernelOpts: true}},
+	}
+	for _, bm := range harness.Benchmarks() {
+		bm := bm
+		prog := bm.Progs(bm.Orders())[0]
+		for _, mode := range modes {
+			mode := mode
+			b.Run(bm.Name+"/"+mode.name, func(b *testing.B) {
+				cfg := mode.opts.ExplorerConfig(bm.Name)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := checker.Explore(cfg, prog)
+					if res.Feasible == 0 {
+						b.Fatalf("no feasible executions for %s", bm.Name)
+					}
+				}
+			})
+		}
+	}
+}

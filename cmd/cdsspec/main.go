@@ -10,6 +10,7 @@
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
 //	cdsspec json <benchmark>     print one execution + stats as JSON
 //	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (any schema)
+//	cdsspec kernelbench [-json]  kernel hot-path before/after measurements
 //	cdsspec fuzz [benchmark]     run generative campaigns (§6.4's unit-test gap)
 //	cdsspec shrink <benchmark>   minimize a failing generated program
 //	cdsspec list [-v]            list benchmark names (-v: ops, roles, sites)
@@ -17,7 +18,9 @@
 //
 // Flags: -workers N (global or per-subcommand), and per-subcommand
 // -json (machine-readable output), -progress (periodic progress to
-// stderr) and -nocache (disable spec-check memoization). The fuzz and
+// stderr), -nocache (disable spec-check memoization), -nokernelopts
+// (disable the kernel hot-path optimizations), and -cpuprofile/
+// -memprofile (write pprof profiles of the subcommand). The fuzz and
 // shrink subcommands add -seed, -count, -budget, -corpus, -weaken and
 // -index (see their help text). Subcommand flags go between the
 // subcommand and its positional arguments: cdsspec run -progress
@@ -48,6 +51,9 @@ type cli struct {
 	jsonOut        bool
 	progress       bool
 	nocache        bool
+	nokernelopts   bool
+	cpuProfile     string
+	memProfile     string
 
 	// fuzz / shrink / list -v flags.
 	seed       uint64
@@ -60,7 +66,13 @@ type cli struct {
 }
 
 func (c *cli) opts() harness.Options {
-	o := harness.Options{Workers: c.workers, DisableSpecCache: c.nocache}
+	o := harness.Options{
+		Workers:           c.workers,
+		DisableSpecCache:  c.nocache,
+		DisableKernelOpts: c.nokernelopts,
+		CPUProfile:        c.cpuProfile,
+		MemProfile:        c.memProfile,
+	}
 	if c.progress {
 		o.Progress = func(name string, p checker.Progress) {
 			if p.Final {
@@ -107,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.BoolVar(&c.jsonOut, "json", false, "emit machine-readable JSON instead of tables")
 	sub.BoolVar(&c.progress, "progress", false, "print periodic exploration progress to stderr")
 	sub.BoolVar(&c.nocache, "nocache", false, "disable the per-shard spec-check memoization cache")
+	sub.BoolVar(&c.nokernelopts, "nokernelopts", false, "disable the memory-model kernel hot-path optimizations")
+	sub.StringVar(&c.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the subcommand to this file")
+	sub.StringVar(&c.memProfile, "memprofile", "", "write a pprof heap profile after the subcommand to this file")
 	sub.Uint64Var(&c.seed, "seed", 1, "fuzz: program generator seed (same seed = same batch)")
 	sub.IntVar(&c.count, "count", 25, "fuzz: programs to generate per benchmark")
 	sub.IntVar(&c.budget, "budget", 5000, "fuzz: max executions explored per program (0 = exhaustive)")
@@ -119,6 +134,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	c.workers = *subWorkers
 	pos := sub.Args()
+
+	// Profiling wraps the whole subcommand, whatever it is, so a slow
+	// fig7 row or a fuzz campaign can be profiled the same way.
+	stopProfiles, err := c.opts().StartProfiles()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(stderr, "stopping profiles: %v\n", err)
+		}
+	}()
 
 	switch cmd {
 	case "fig7":
@@ -165,6 +193,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.jsonOne(pos[0])
+	case "kernelbench":
+		return c.kernelBench()
 	case "benchdiff":
 		if len(pos) < 2 {
 			fmt.Fprintln(stderr, "usage: cdsspec benchdiff <old.json> <new.json>")
@@ -193,7 +223,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-cpuprofile file] [-memprofile file]")
 	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
 }
 
@@ -266,6 +296,33 @@ func (c *cli) emitSnapshot(fig7 []harness.Fig7Row, fig8 []harness.Fig8Row) int {
 		return 1
 	}
 	fmt.Fprintln(c.stdout, string(blob))
+	return 0
+}
+
+// kernelBench measures every benchmark's primary unit test through the
+// bare checker (no spec monitor) with the kernel hot-path optimizations
+// on and off. With -json it emits the BENCH_kernel.json snapshot CI
+// archives. A result mismatch between the two modes is a checker bug
+// and fails the command.
+func (c *cli) kernelBench() int {
+	rows := harness.RunKernelBench(c.opts())
+	if c.jsonOut {
+		blob, err := harness.KernelSnapshotJSON(rows)
+		if err != nil {
+			fmt.Fprintf(c.stderr, "encoding kernel snapshot: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(c.stdout, string(blob))
+	} else {
+		fmt.Fprintln(c.stdout, "=== kernel hot-path benchmark (optimizations on vs off) ===")
+		fmt.Fprint(c.stdout, harness.FormatKernelBench(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			fmt.Fprintf(c.stderr, "kernel optimization changed results for %q\n", r.Name)
+			return 1
+		}
+	}
 	return 0
 }
 

@@ -18,8 +18,6 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
-
-	"repro/internal/memmodel"
 )
 
 // Config controls an exploration.
@@ -69,6 +67,33 @@ type Config struct {
 	// report (the paper does this in §6.4.1 to let the Chase-Lev bug
 	// surface as a specification violation instead).
 	DisableLifetimeCheck bool
+	// DisableFloorCache turns off the per-(thread, location) memoization
+	// of visibleFloor. Results are identical either way (pinned by
+	// tests); the flag exists for ablation benchmarks and as a field
+	// escape hatch.
+	DisableFloorCache bool
+	// DisablePooling turns off per-shard recycling of executions
+	// (System, threads, locations, actions, clock snapshots). Required
+	// by clients that retain *memmodel.Action or Action.Clock pointers
+	// across executions — with pooling on they are valid only within the
+	// execution that produced them. Results are identical either way.
+	DisablePooling bool
+	// DisableLoadCompaction turns off the discarding of read-read
+	// coherence records that can never again raise a visibility floor.
+	// Results are identical either way.
+	DisableLoadCompaction bool
+	// DisableReplayPinning turns off the frozen-prefix replay fast path
+	// (reusing recorded visibility computations while re-driving a
+	// recorded decision prefix). Results are identical either way.
+	DisableReplayPinning bool
+	// DebugReplayCheck recomputes every pinned visibility record during
+	// replay and panics on mismatch — a (slow) validation mode for the
+	// replay-determinism invariant the pinning fast path relies on.
+	DebugReplayCheck bool
+	// compactThreshold is the loadRec count past which a location's
+	// records are compacted (default 64; tests lower it to force
+	// compaction on small programs).
+	compactThreshold int
 	// OnRunStart runs at the start of every execution, before the root
 	// thread. It typically installs the spec monitor in sys.Aux.
 	OnRunStart func(sys *System)
@@ -118,6 +143,9 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.ProgressInterval == 0 {
 		out.ProgressInterval = time.Second
+	}
+	if out.compactThreshold == 0 {
+		out.compactThreshold = 64
 	}
 	return &out
 }
@@ -201,6 +229,14 @@ type decision struct {
 	// sleep (their next operation need not be re-interleaved until a
 	// dependent operation wakes them — Godefroid's sleep sets).
 	explored []int
+
+	// callIdx is the dfsChooser vlog position the node corresponds to:
+	// value-site records strictly below it stay valid when the node's
+	// chosen branch advances (for a value node it counts the node's own
+	// record, appended just before the node was created — the record is
+	// a function of the execution state, never of the choice). advance
+	// truncates the vlog validity to it when backtracking to the node.
+	callIdx int
 }
 
 // dfsChooser replays a decision prefix and extends it depth-first.
@@ -216,6 +252,62 @@ type dfsChooser struct {
 	// replays a frozen prefix, because the worker's stack is the same
 	// stack sequential DFS holds inside that subtree.
 	stats *Stats
+
+	// pin enables the frozen-prefix replay fast path: vlog records the
+	// visibility computation of every value-nondeterminism site of the
+	// current execution in call order; positions below vvalid were
+	// recorded by a previous execution of the identical prefix and are
+	// served back (vpos is the cursor), positions at and past it are
+	// computed fresh and appended. advance rewinds vvalid to the
+	// backtracked node's callIdx — the calls before that node are the
+	// ones its new branch replays unchanged.
+	pin    bool
+	vlog   []floorRec
+	vpos   int
+	vvalid int
+	// scratchRec backs noteFloor when pinning is off.
+	scratchRec floorRec
+	// candsBuf backs pickThread's candidate filtering, copied only when
+	// a fresh decision node retains the candidate list.
+	candsBuf []int
+}
+
+// pinnedFloor serves the next recorded value-site computation while the
+// cursor is inside the validated prefix.
+func (d *dfsChooser) pinnedFloor() (*floorRec, bool) {
+	if !d.pin || d.vpos >= d.vvalid {
+		return nil, false
+	}
+	r := &d.vlog[d.vpos]
+	d.vpos++
+	return r, true
+}
+
+// noteFloor appends a freshly computed record at the cursor, truncating
+// any stale tail from a longer previous execution.
+func (d *dfsChooser) noteFloor(rec floorRec) *floorRec {
+	if !d.pin {
+		d.scratchRec = rec
+		return &d.scratchRec
+	}
+	d.vlog = append(d.vlog[:d.vpos], rec)
+	d.vpos = len(d.vlog)
+	d.vvalid = d.vpos
+	return &d.vlog[d.vpos-1]
+}
+
+// rewindVlog resets the cursor for the next execution, keeping records
+// below the backtracked node's call position valid.
+func (d *dfsChooser) rewindVlog(nd *decision) {
+	if !d.pin {
+		return
+	}
+	v := nd.callIdx
+	if v > len(d.vlog) {
+		v = len(d.vlog)
+	}
+	d.vvalid = v
+	d.vpos = 0
 }
 
 // noteDecision updates the branch/replay counters for one decision with
@@ -257,7 +349,7 @@ func (d *dfsChooser) choose(n int, kind byte) int {
 		d.noteDecision(false, false)
 		return c
 	}
-	d.decisions = append(d.decisions, decision{n: n, chosen: 0, kind: kind})
+	d.decisions = append(d.decisions, decision{n: n, chosen: 0, kind: kind, callIdx: d.vpos})
 	d.depth++
 	// 'l' (last-resort spinner wake) is a scheduling choice; 'r'/'c' are
 	// value choices.
@@ -266,13 +358,14 @@ func (d *dfsChooser) choose(n int, kind byte) int {
 }
 
 func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
-	var cands []int
+	cands := d.candsBuf[:0]
 	for _, t := range enabled {
 		if !d.disableSleep && t.state != tsYield && s.sleep.asleep(t.id) {
 			continue
 		}
 		cands = append(cands, t.id)
 	}
+	d.candsBuf = cands
 	if len(cands) == 0 {
 		// Every enabled thread is asleep: this interleaving is
 		// equivalent to one already explored.
@@ -296,7 +389,7 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 		}
 		return s.threads[nd.cands[nd.chosen]]
 	}
-	d.decisions = append(d.decisions, decision{kind: 's', cands: cands})
+	d.decisions = append(d.decisions, decision{kind: 's', cands: append([]int(nil), cands...), callIdx: d.vpos})
 	d.depth++
 	d.noteDecision(true, true)
 	return s.threads[cands[0]]
@@ -325,6 +418,7 @@ func (d *dfsChooser) advanceFrom(floor int) bool {
 				nd.chosen = next
 				d.decisions = d.decisions[:i+1]
 				d.depth = 0
+				d.rewindVlog(nd)
 				return true
 			}
 			continue // node exhausted: pop
@@ -333,6 +427,7 @@ func (d *dfsChooser) advanceFrom(floor int) bool {
 			nd.chosen++
 			d.decisions = d.decisions[:i+1]
 			d.depth = 0
+			d.rewindVlog(nd)
 			return true
 		}
 	}
@@ -362,9 +457,19 @@ func contains(xs []int, x int) bool {
 
 // randChooser draws every decision uniformly at random.
 type randChooser struct {
-	rng       *rand.Rand
-	disableRF bool
-	stats     *Stats
+	rng        *rand.Rand
+	disableRF  bool
+	stats      *Stats
+	scratchRec floorRec
+}
+
+// pinnedFloor: random walks never replay a prefix, so value sites always
+// compute fresh.
+func (r *randChooser) pinnedFloor() (*floorRec, bool) { return nil, false }
+
+func (r *randChooser) noteFloor(rec floorRec) *floorRec {
+	r.scratchRec = rec
+	return &r.scratchRec
 }
 
 func (r *randChooser) choose(n int, kind byte) int {
@@ -406,12 +511,13 @@ func (r *Result) record(f *Failure, maxFailures int) {
 
 // runOne performs one execution under ch and folds it into res, using
 // res.Executions as the 1-based execution index. scratch is the shard
-// state exposed as System.Scratch (nil when Config.NewScratch is unset).
+// state exposed as System.Scratch (nil when Config.NewScratch is unset);
+// pool is the shard's execution pool (nil when pooling is disabled).
 // It reports whether the execution failed.
-func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any) bool {
+func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any, pool *execPool) bool {
 	res.Executions++
 	exploreStart := time.Now()
-	sys := runExecution(c, ch, root, res.Executions, scratch)
+	sys := runExecution(c, ch, root, res.Executions, scratch, pool)
 	res.Stats.ExploreTime += time.Since(exploreStart)
 	res.Stats.TotalSteps += sys.stepCount
 
@@ -483,7 +589,11 @@ func (c *Config) randomWalkBudget() int {
 
 // newDFSChooser builds a chooser for exhaustive exploration under c.
 func newDFSChooser(c *Config) *dfsChooser {
-	return &dfsChooser{disableRF: c.DisableStaleReads, disableSleep: c.DisableSleepSet}
+	return &dfsChooser{
+		disableRF:    c.DisableStaleReads,
+		disableSleep: c.DisableSleepSet,
+		pin:          !c.DisableReplayPinning,
+	}
 }
 
 // Explore enumerates executions of root under cfg and returns the
@@ -506,8 +616,9 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 		walks := c.randomWalkBudget()
 		ch := &randChooser{rng: rng, disableRF: c.DisableStaleReads, stats: &res.Stats}
 		scratch := c.newScratch() // a sequential walk is one shard
+		pool := newExecPool(c)
 		for i := 0; i < walks; i++ {
-			failed := runOne(c, res, ch, root, scratch)
+			failed := runOne(c, res, ch, root, scratch, pool)
 			if failed && c.StopAtFirst {
 				return res
 			}
@@ -519,11 +630,16 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 	d.stats = &res.Stats
 	// Each branch of the root decision node is one shard — the same
 	// partition parallel DFS uses for its tasks, so shard-scoped state
-	// (spec caches) behaves identically in both modes.
+	// (spec caches) behaves identically in both modes. The execution pool
+	// is also shard-scoped only because a shard is single-threaded; its
+	// contents are mechanical, so carrying one pool across branches is
+	// equally sound — but keeping the scopes aligned keeps the
+	// sequential/parallel correspondence easy to reason about.
 	scratch := c.newScratch()
+	pool := newExecPool(c)
 	branch := d.rootBranch()
 	for {
-		failed := runOne(c, res, d, root, scratch)
+		failed := runOne(c, res, d, root, scratch, pool)
 		if failed && c.StopAtFirst {
 			return res
 		}
@@ -541,46 +657,65 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 	}
 }
 
-// runExecution performs a single execution under the given chooser.
-func runExecution(cfg *Config, ch chooser, root func(*Thread), execIndex int, scratch any) *System {
-	sys := &System{cfg: cfg, chooser: ch, execIndex: execIndex, sleep: newSleepSet(), Scratch: scratch}
+// runExecution performs a single execution under the given chooser,
+// recycling per-execution state through pool when one is supplied.
+func runExecution(cfg *Config, ch chooser, root func(*Thread), execIndex int, scratch any, pool *execPool) *System {
+	var sys *System
+	if pool != nil {
+		sys = pool.take(cfg, ch, execIndex, scratch)
+	} else {
+		sys = &System{cfg: cfg, chooser: ch, execIndex: execIndex, sleep: newSleepSet(), Scratch: scratch, schedDone: make(chan struct{})}
+	}
 	if cfg.OnRunStart != nil {
 		cfg.OnRunStart(sys)
 	}
-	sys.newThread("main", root, memmodel.NewClockVector())
+	sys.newThread("main", root, nil)
 
-	for {
-		if sys.aborted {
-			break
-		}
-		enabled := sys.enabledThreads()
-		if len(enabled) == 0 {
-			if sys.allFinished() {
-				break // normal completion
-			}
-			if !sys.wakeLastResort() {
-				sys.reportStuck()
-				break
-			}
-			continue
-		}
-		t := ch.pickThread(sys, enabled)
-		if t == nil {
-			sys.pruned = true
-			sys.pruneReason = pruneSleepSet
-			sys.aborted = true
-			break
-		}
-		sys.grant(t)
+	// Hand the baton to the first thread; from then on every scheduling
+	// decision runs inline in whichever thread goroutine holds the baton
+	// (Thread.park), and the holder whose decision ends the execution
+	// signals schedDone.
+	if next := sys.nextThread(); next != nil {
+		next.resume <- struct{}{}
+		<-sys.schedDone
 	}
-	sys.drain()
+	sys.reap()
 	return sys
 }
 
+// nextThread makes one scheduling decision: the thread to run next, or
+// nil when the execution is over (completed, pruned, stuck, or aborted).
+// It runs in whichever goroutine currently holds the baton.
+func (s *System) nextThread() *Thread {
+	if s.aborted {
+		return nil
+	}
+	enabled := s.enabledThreads()
+	if len(enabled) == 0 {
+		if s.allFinished() {
+			return nil // normal completion
+		}
+		if t := s.wakeLastResort(); t != nil {
+			return t
+		}
+		s.reportStuck()
+		return nil
+	}
+	t := s.chooser.pickThread(s, enabled)
+	if t == nil {
+		s.pruned = true
+		s.pruneReason = pruneSleepSet
+		s.aborted = true
+		return nil
+	}
+	return t
+}
+
 // enabledThreads returns the threads that may take a step right now, in
-// deterministic (thread-id) order.
+// deterministic (thread-id) order. The returned slice aliases a buffer
+// reused across scheduling steps; callers must not retain it.
 func (s *System) enabledThreads() []*Thread {
-	var out []*Thread
+	out := s.enabledBuf[:0]
 	for _, t := range s.threads {
 		switch t.state {
 		case tsParked:
@@ -599,6 +734,7 @@ func (s *System) enabledThreads() []*Thread {
 			}
 		}
 	}
+	s.enabledBuf = out
 	return out
 }
 
@@ -614,7 +750,7 @@ func (s *System) allFinished() bool {
 // wakeLastResort re-enables yielded spinners when nothing else can run:
 // a spinner that then makes no state change is not retried at the same
 // epoch, which both guarantees termination and detects livelocks.
-func (s *System) wakeLastResort() bool {
+func (s *System) wakeLastResort() *Thread {
 	var cands []*Thread
 	for _, t := range s.threads {
 		if t.state == tsYield && t.lastResortEpoch != s.storeEpoch {
@@ -622,13 +758,12 @@ func (s *System) wakeLastResort() bool {
 		}
 	}
 	if len(cands) == 0 {
-		return false
+		return nil
 	}
 	idx := s.chooser.choose(len(cands), 'l')
 	t := cands[idx]
 	t.lastResortEpoch = s.storeEpoch
-	s.grant(t)
-	return true
+	return t
 }
 
 // reportStuck handles the no-enabled-threads case from scheduler context
@@ -718,25 +853,19 @@ func (s *System) reportStuck() {
 }
 
 // grant hands the baton to t and waits for it to park or finish.
-func (s *System) grant(t *Thread) {
-	t.resume <- struct{}{}
-	<-t.parked
-}
-
-// drain pokes every parked thread with a poison grant so its goroutine
-// exits before the next execution starts.
-func (s *System) drain() {
+// reap collects every thread goroutine: blocked ones are poisoned (they
+// see aborted and unwind; draining suppresses their baton handoff), and
+// each goroutine's final parked send is consumed, so by the time reap
+// returns no goroutine of this execution is live — the precondition for
+// pooling the Thread structs.
+func (s *System) reap() {
+	s.draining = true
 	s.aborted = true
-	for {
-		progress := false
-		for _, t := range s.threads {
-			if t.state != tsFinished {
-				s.grant(t)
-				progress = true
-			}
+	for _, t := range s.threads {
+		if t.state != tsFinished {
+			t.resume <- struct{}{}
 		}
-		if !progress {
-			return
-		}
+		<-t.parked
 	}
+	s.draining = false
 }

@@ -36,6 +36,22 @@ type scFloor struct {
 	moIdx int
 }
 
+// floorEntry caches one thread's visibleFloor result for a location.
+// The entry is valid while the triple (clockEpoch, storeEpoch, scIdx)
+// matches the current state exactly — see visibleFloor for the
+// invalidation argument. floor may additionally be raised in place when
+// the owning thread performs a load of the location (its own loads are
+// always covered by its own clock, so they tighten the read-read floor
+// without any epoch moving).
+type floorEntry struct {
+	clockEpoch uint64
+	storeEpoch uint64
+	scIdx      int
+	floor      int
+	published  bool
+	valid      bool
+}
+
 // location is the checker-internal state of one memory location.
 type location struct {
 	id     int
@@ -50,16 +66,71 @@ type location struct {
 
 	// stores is the modification order (the order stores executed).
 	stores []storeRec
-	// loads is every load of this location so far.
+	// loads is every load of this location still relevant for read-read
+	// coherence; compactLoads discards entries provably dominated for
+	// every possible future reader.
 	loads []loadRec
-	// lastStoreByThread maps thread id -> latest mo index it stored.
-	lastStoreByThread map[int]int
+	// maxLoadRF is the largest rfMO over the retained loads (-1 if none):
+	// when the store-derived floor already reaches it, the loads scan is
+	// skipped entirely.
+	maxLoadRF int
+	// nextCompact is the loads length at which the next compaction pass
+	// runs (0 = not yet armed; maybeCompactLoads arms it lazily from the
+	// configured threshold).
+	nextCompact int
+	// lastStoreBy[tid] is the latest mo index thread tid stored (-1 none).
+	lastStoreBy []int
 	// scFloors are seq_cst visibility constraints (monotone in scIdx).
 	scFloors []scFloor
+
+	// floorCache[tid] memoizes visibleFloor per thread.
+	floorCache []floorEntry
 }
 
 // lastStoreIdx returns the mo index of the newest store, or -1.
 func (l *location) lastStoreIdx() int { return len(l.stores) - 1 }
+
+// lastStoreByThread returns the mo index of the newest store by tid, or
+// -1 when the thread has not stored to the location.
+func (l *location) lastStoreByThread(tid int) int {
+	if tid >= len(l.lastStoreBy) {
+		return -1
+	}
+	return l.lastStoreBy[tid]
+}
+
+// setLastStoreByThread records mo index mo as thread tid's newest store.
+func (l *location) setLastStoreByThread(tid, mo int) {
+	for len(l.lastStoreBy) <= tid {
+		l.lastStoreBy = append(l.lastStoreBy, -1)
+	}
+	l.lastStoreBy[tid] = mo
+}
+
+// cacheFor returns the floor-cache slot for thread tid, growing the
+// cache on demand.
+func (l *location) cacheFor(tid int) *floorEntry {
+	for len(l.floorCache) <= tid {
+		l.floorCache = append(l.floorCache, floorEntry{})
+	}
+	return &l.floorCache[tid]
+}
+
+// reset returns the location to its freshly created state while keeping
+// every slice's capacity, so a pooled execution repopulates it without
+// allocating. The caller overwrites the identity fields (name, atomic,
+// creator) afterwards.
+func (l *location) reset() {
+	l.stores = l.stores[:0]
+	l.loads = l.loads[:0]
+	l.maxLoadRF = -1
+	l.nextCompact = 0
+	l.lastStoreBy = l.lastStoreBy[:0]
+	l.scFloors = l.scFloors[:0]
+	for i := range l.floorCache {
+		l.floorCache[i].valid = false
+	}
+}
 
 // Atomic is a simulated C/C++11 atomic location. All accesses must go
 // through a *Thread so the checker can schedule and record them.

@@ -98,7 +98,9 @@ func (m *Mutex) Lock(t *Thread) {
 	t.sys.stepCount++
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	t.clock.Merge(m.clock)
+	if t.clock.Merge(m.clock) {
+		t.clockEpoch++
+	}
 	t.sys.record(t, memmodel.KindLock, memmodel.Acquire, nil, 0)
 	t.sys.sleep.wake(pendSig{class: sigMutex, loc: m.id, write: true})
 }
@@ -117,7 +119,9 @@ func (m *Mutex) TryLock(t *Thread) bool {
 	t.sys.stepCount++
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	t.clock.Merge(m.clock)
+	if t.clock.Merge(m.clock) {
+		t.clockEpoch++
+	}
 	t.sys.record(t, memmodel.KindLock, memmodel.Acquire, nil, 0)
 	t.sys.sleep.wake(pendSig{class: sigMutex, loc: m.id, write: true})
 	return true
@@ -133,7 +137,7 @@ func (m *Mutex) Unlock(t *Thread) {
 	t.sys.stepCount++
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	m.clock = t.clock.Clone()
+	m.clock = t.sys.snap(t.clock)
 	m.owner = -1
 	t.sys.storeEpoch++ // an unlock can unblock spinners and lock-waiters
 	t.sys.record(t, memmodel.KindUnlock, memmodel.Release, nil, 0)

@@ -152,11 +152,12 @@ func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
 		ch := &randChooser{rng: rand.New(rand.NewSource(seed)), disableRF: c.DisableStaleReads, stats: &local.Stats}
 		locals[w] = local
 		scratch := c.newScratch() // each walk worker is one shard
+		pool := newExecPool(c)
 		for i := 0; i < count; i++ {
 			if b.stopped() {
 				return
 			}
-			failed := runOne(c, local, ch, root, scratch)
+			failed := runOne(c, local, ch, root, scratch, pool)
 			if failed && c.StopAtFirst {
 				b.cancel()
 				return
@@ -178,7 +179,8 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 	// branch's shard; task 0 continues with the same scratch, exactly as
 	// the sequential DFS would.
 	probeScratch := c.newScratch()
-	failed := runOne(c, res, probe, root, probeScratch)
+	probePool := newExecPool(c)
+	failed := runOne(c, res, probe, root, probeScratch, probePool)
 	if failed && c.StopAtFirst {
 		return res
 	}
@@ -236,11 +238,15 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 		// order, reproducing the sequential totals.
 		d.stats = &local.Stats
 		// Each root branch is one shard: task 0 inherits the probe's
-		// scratch, other tasks open a fresh one — matching the sequential
-		// DFS, which renews its scratch at every root-branch boundary.
+		// scratch (and execution pool), other tasks open fresh ones —
+		// matching the sequential DFS, which renews its scratch at every
+		// root-branch boundary. Pools must not be shared across tasks:
+		// tasks run concurrently and a pool is single-threaded.
 		scratch := probeScratch
+		pool := probePool
 		if task != 0 {
 			scratch = c.newScratch()
+			pool = newExecPool(c)
 		}
 		// The probe already ran task 0's first leaf; every other task's
 		// chooser is positioned on an unexplored leaf.
@@ -254,7 +260,7 @@ func parallelDFS(c *Config, root func(*Thread)) *Result {
 			if !b.tryStart() {
 				return
 			}
-			failed := runOne(c, local, d, root, scratch)
+			failed := runOne(c, local, d, root, scratch, pool)
 			if failed && c.StopAtFirst {
 				b.cancel()
 				return

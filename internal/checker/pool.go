@@ -1,0 +1,151 @@
+package checker
+
+import (
+	"repro/internal/memmodel"
+)
+
+// execPool recycles the per-execution state of one exploration shard —
+// the System shell, thread structs, locations, actions, and clock
+// snapshots — so replaying millions of executions allocates (amortized)
+// nothing per execution instead of rebuilding everything from scratch.
+//
+// A pool is single-threaded: it belongs to exactly one shard (the unit
+// of single-threaded exploration — see Config.NewScratch), the same way
+// a Scratch value does. Pooling is invisible to results: a pooled run is
+// bit-identical to an unpooled one (pinned by tests), because every
+// recycled object is fully reset or fully overwritten before reuse.
+//
+// The load-bearing invariant is *lifetime*: pointers into pooled state —
+// *memmodel.Action, Action.Clock, storeRec.sync — are valid only within
+// the execution that produced them. Everything the checker retains
+// across executions already obeys this (Failure renders its trace to a
+// string at creation time; Result holds no actions), and the spec layer
+// above keeps only derived data (fingerprints, counters) in its
+// cross-execution caches. Config.DisablePooling opts out for any client
+// that must retain actions.
+type execPool struct {
+	sys *System
+
+	// threads and locs are supersets of any single execution's threads
+	// and locations; newThread/newLocation take the next entry and reset
+	// it instead of allocating. The per-execution System slices alias
+	// prefixes of these.
+	threads []*Thread
+	locs    []*location
+
+	// acts and clks are arenas of recycled actions and clock snapshots;
+	// actIdx/clkIdx are the next free slots, rewound on reset.
+	acts   []*memmodel.Action
+	actIdx int
+	clks   []*memmodel.ClockVector
+	clkIdx int
+}
+
+// newExecPool returns an empty pool for one shard, or nil when pooling
+// is disabled — every use site treats a nil pool as "allocate fresh".
+func newExecPool(c *Config) *execPool {
+	if c.DisablePooling {
+		return nil
+	}
+	return &execPool{}
+}
+
+// take returns a System reset for the next execution. The first call
+// builds the shell; later calls rewind it.
+func (p *execPool) take(cfg *Config, ch chooser, execIndex int, scratch any) *System {
+	if p.sys == nil {
+		p.sys = &System{sleep: newSleepSet(), schedDone: make(chan struct{})}
+	}
+	s := p.sys
+	// Full overwrite of the shell except the pooled containers.
+	s.cfg = cfg
+	s.chooser = ch
+	s.threads = s.threads[:0]
+	s.locs = s.locs[:0]
+	s.actions = s.actions[:0]
+	s.scCount = 0
+	s.storeEpoch = 0
+	s.stepCount = 0
+	s.execIndex = execIndex
+	s.aborted = false
+	s.draining = false
+	s.pruned = false
+	s.pruneReason = pruneNone
+	s.failure = nil
+	s.mutexCount = 0
+	s.specReport = SpecReport{}
+	s.sleep.clear()
+	s.Aux = nil
+	s.Scratch = scratch
+	s.pool = p
+	p.actIdx = 0
+	p.clkIdx = 0
+	return s
+}
+
+// getThread returns the id-th thread struct, recycled and reset to run
+// fn with a clock copied from src. The previous execution's goroutine
+// has fully exited (drain guarantees it), so the channels are idle and
+// reusable; only a fresh goroutine is started per execution.
+func (p *execPool) getThread(s *System, id int, name string, fn func(*Thread), src *memmodel.ClockVector) *Thread {
+	if id < len(p.threads) {
+		t := p.threads[id]
+		t.reset(s, name, fn, src)
+		return t
+	}
+	t := newThreadStruct(s, id, name, fn, cloneOrNew(src))
+	p.threads = append(p.threads, t)
+	return t
+}
+
+// getLocation returns the id-th location struct, recycled and reset.
+func (p *execPool) getLocation(id int) *location {
+	if id < len(p.locs) {
+		l := p.locs[id]
+		l.reset()
+		return l
+	}
+	l := &location{maxLoadRF: -1}
+	p.locs = append(p.locs, l)
+	return l
+}
+
+// getAction returns a recycled Action; the caller overwrites every field.
+func (p *execPool) getAction() *memmodel.Action {
+	if p.actIdx < len(p.acts) {
+		a := p.acts[p.actIdx]
+		p.actIdx++
+		return a
+	}
+	a := &memmodel.Action{}
+	p.acts = append(p.acts, a)
+	p.actIdx++
+	return a
+}
+
+// getClock returns a recycled clock holding a copy of src (empty when
+// src is nil).
+func (p *execPool) getClock(src *memmodel.ClockVector) *memmodel.ClockVector {
+	var cv *memmodel.ClockVector
+	if p.clkIdx < len(p.clks) {
+		cv = p.clks[p.clkIdx]
+	} else {
+		cv = memmodel.NewClockVector()
+		p.clks = append(p.clks, cv)
+	}
+	p.clkIdx++
+	if src == nil {
+		cv.Reset()
+	} else {
+		cv.CopyFrom(src)
+	}
+	return cv
+}
+
+// cloneOrNew deep-copies src, or returns a fresh clock when src is nil.
+func cloneOrNew(src *memmodel.ClockVector) *memmodel.ClockVector {
+	if src == nil {
+		return memmodel.NewClockVector()
+	}
+	return src.Clone()
+}

@@ -83,6 +83,9 @@ type sleepSet struct {
 
 func newSleepSet() *sleepSet { return &sleepSet{m: map[int]pendSig{}} }
 
+// clear empties the set in place, so a pooled execution reuses the map.
+func (s *sleepSet) clear() { clear(s.m) }
+
 func (s *sleepSet) sleep(tid int, sig pendSig) { s.m[tid] = sig }
 
 func (s *sleepSet) asleep(tid int) bool {

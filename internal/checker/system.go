@@ -17,14 +17,44 @@ type chooser interface {
 	// A nil result prunes the execution as redundant (every enabled
 	// thread is asleep under the sleep-set reduction).
 	pickThread(s *System, enabled []*Thread) *Thread
+	// pinnedFloor returns the recorded visibility record for the next
+	// value-nondeterminism site while the chooser is re-driving a frozen
+	// decision prefix: replay is deterministic, so the site reaches the
+	// exact state it had when the record was taken and may skip the
+	// store/load scans entirely. ok is false when the site must compute
+	// fresh (and then report the result via noteFloor).
+	pinnedFloor() (*floorRec, bool)
+	// noteFloor records a freshly computed visibility record at the
+	// current value-site position and returns a pointer the caller may
+	// update with resolved-choice bookkeeping (see doCAS).
+	noteFloor(rec floorRec) *floorRec
+}
+
+// floorRec is the visibility computation of one value-nondeterminism
+// site (atomic load 'r', CAS 'c', RMW 'm'), pinned by the dfsChooser so
+// frozen-prefix replay can reuse it. Everything in it is a function of
+// the execution state at the site — never of the choice taken there —
+// except the resolved* pair, which memoizes the store index the last
+// taken choice mapped to (kind 'c' only; resolvedFor is -1 until set).
+type floorRec struct {
+	kind        byte
+	floor       int
+	published   bool
+	n           int
+	canSucceed  bool
+	resolvedFor int
+	resolvedIdx int
 }
 
 // System is the state of one simulated execution: threads, locations,
-// the action trace, and the seq_cst bookkeeping. A fresh System is built
-// for every execution the explorer runs.
+// the action trace, and the seq_cst bookkeeping. The explorer builds a
+// fresh System per execution, or recycles one through an execPool.
 type System struct {
 	cfg     *Config
 	chooser chooser
+	// pool, when non-nil, recycles threads/locations/actions/clocks
+	// across the executions of one shard (see pool.go).
+	pool *execPool
 
 	threads []*Thread
 	locs    []*location
@@ -43,6 +73,19 @@ type System struct {
 	pruneReason pruneReason
 	failure     *Failure
 	mutexCount  int
+
+	// schedDone is how the baton-passing scheduler returns control to
+	// runExecution: scheduling decisions run inline in whichever thread
+	// goroutine holds the baton (see Thread.park), and the holder whose
+	// decision finds the execution over signals here exactly once.
+	schedDone chan struct{}
+	// draining tells an unwinding thread goroutine that reap is
+	// collecting goroutines: skip the baton handoff and just signal
+	// exit.
+	draining bool
+
+	// enabledBuf backs enabledThreads, reused across scheduling steps.
+	enabledBuf []*Thread
 
 	// Spec-checking statistics reported by the core layer through
 	// ReportSpecStats; runOne folds them into Result.Stats.
@@ -161,25 +204,24 @@ func (s *System) TraceString(limit int) string {
 	return b.String()
 }
 
-func (s *System) newThread(name string, fn func(*Thread), clock *memmodel.ClockVector) *Thread {
+// newThread registers a thread running fn whose clock starts as a copy
+// of src (empty when src is nil; Spawn passes the parent's clock).
+func (s *System) newThread(name string, fn func(*Thread), src *memmodel.ClockVector) *Thread {
 	if len(s.threads) >= s.cfg.MaxThreads {
 		s.failf(FailAPIMisuse, "too many threads (max %d)", s.cfg.MaxThreads)
 	}
-	t := &Thread{
-		sys:             s,
-		id:              len(s.threads),
-		name:            name,
-		clock:           clock,
-		lastSCFence:     -1,
-		lastResortEpoch: ^uint64(0),
-		acqPending:      memmodel.NewClockVector(),
-		fn:              fn,
-		resume:          make(chan struct{}),
-		parked:          make(chan struct{}),
+	var t *Thread
+	if s.pool != nil {
+		t = s.pool.getThread(s, len(s.threads), name, fn, src)
+	} else {
+		t = newThreadStruct(s, len(s.threads), name, fn, cloneOrNew(src))
 	}
+	// The child starts parked at its start point; its goroutine blocks
+	// on the resume channel until a scheduling decision picks it, so no
+	// startup handshake is needed.
+	t.state = tsParked
 	s.threads = append(s.threads, t)
 	go t.threadMain()
-	<-t.parked // wait for the child to park at its start point
 	return t
 }
 
@@ -201,14 +243,17 @@ func (s *System) newLocation(name string, atomic bool) *location {
 			tid, tseq = t.id, t.tseq+1
 		}
 	}
-	l := &location{
-		id:                len(s.locs),
-		name:              name,
-		atomic:            atomic,
-		creatorTid:        tid,
-		creatorTSeq:       tseq,
-		lastStoreByThread: map[int]int{},
+	var l *location
+	if s.pool != nil {
+		l = s.pool.getLocation(len(s.locs))
+	} else {
+		l = &location{maxLoadRF: -1}
 	}
+	l.id = len(s.locs)
+	l.name = name
+	l.atomic = atomic
+	l.creatorTid = tid
+	l.creatorTSeq = tseq
 	s.locs = append(s.locs, l)
 	return l
 }
@@ -242,7 +287,15 @@ func (s *System) checkLifetime(t *Thread, loc *location, what string) {
 // The caller must already have bumped t.tseq and applied any clock merges
 // the action performs.
 func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, loc *location, v memmodel.Value) *memmodel.Action {
-	act := &memmodel.Action{
+	var act *memmodel.Action
+	if s.pool != nil {
+		act = s.pool.getAction()
+	} else {
+		act = &memmodel.Action{}
+	}
+	// Full overwrite: pooled actions carry the previous execution's
+	// values in every field.
+	*act = memmodel.Action{
 		ID:      len(s.actions),
 		Thread:  t.id,
 		TSeq:    t.tseq,
@@ -256,10 +309,29 @@ func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, lo
 		act.LocID = loc.id
 		act.LocName = loc.name
 	}
-	act.Clock = t.clock.Clone()
+	act.Clock = s.snap(t.clock)
 	s.actions = append(s.actions, act)
 	t.lastAction = act
 	return act
+}
+
+// snap captures the current value of cv for retention in per-execution
+// state (action clocks, release clocks, mutex clocks). Pooled executions
+// copy into a recycled arena clock; unpooled ones take a copy-on-write
+// share, so the snapshot costs one small struct instead of a deep copy.
+func (s *System) snap(cv *memmodel.ClockVector) *memmodel.ClockVector {
+	if s.pool != nil {
+		return s.pool.getClock(cv)
+	}
+	return cv.Share()
+}
+
+// blank returns an empty clock for per-execution state.
+func (s *System) blank() *memmodel.ClockVector {
+	if s.pool != nil {
+		return s.pool.getClock(nil)
+	}
+	return memmodel.NewClockVector()
 }
 
 // bumpStep advances the per-run step counter and prunes runaway runs.
@@ -286,7 +358,68 @@ func (s *System) bumpStep() {
 //     floor at the store it read;
 //   - the seq_cst rules: the load may not read mo-before the floor implied
 //     by SC stores and SC fences that precede its effective SC position.
+//
+// The result is memoized per (thread, location) under the exact key
+// (t.clockEpoch, s.storeEpoch, scIdx); see the invalidation argument on
+// each epoch. Runs of loads with no intervening synchronization — the
+// common case in spin loops and traversals — hit the cache and skip the
+// scans entirely.
 func (s *System) visibleFloor(t *Thread, loc *location, ord memmodel.MemOrder) (floor int, published bool) {
+	// Effective SC position of the reader. For an SC load it is s.scCount
+	// (all existing SC actions precede it), which moves with every SC
+	// action anywhere; for a load after an SC fence it is the fence's
+	// fixed index, and scFloors entries appended later carry strictly
+	// larger scIdx (SC indices are handed out in increasing order), so
+	// the contributing set {f : f.scIdx < scIdx} is frozen — an exact
+	// match on scIdx keeps the cached floor sound in both cases.
+	scIdx := -1
+	if ord.IsSeqCst() {
+		scIdx = s.scCount
+	} else if t.lastSCFence >= 0 {
+		scIdx = t.lastSCFence
+	}
+	if s.cfg.DisableFloorCache {
+		return s.visibleFloorScan(t, loc, scIdx)
+	}
+	e := loc.cacheFor(t.id)
+	// Exact-match validity: a new store anywhere bumps storeEpoch (so new
+	// stores and new scFloors-from-SC-stores miss); anything raising
+	// t.clock from outside bumps clockEpoch (so stores/loads by other
+	// threads that became visible through a merge miss — without a merge
+	// they are not covered by t.clock and cannot contribute); the
+	// thread's own loads of loc raise e.floor in place below; scFloors
+	// from SC fences change scIdx (an SC fence advances scCount, and the
+	// thread's own fence moves t.lastSCFence).
+	if e.valid && e.clockEpoch == t.clockEpoch && e.storeEpoch == s.storeEpoch && e.scIdx == scIdx {
+		return e.floor, e.published
+	}
+	floor, published = s.visibleFloorScan(t, loc, scIdx)
+	*e = floorEntry{
+		clockEpoch: t.clockEpoch,
+		storeEpoch: s.storeEpoch,
+		scIdx:      scIdx,
+		floor:      floor,
+		published:  published,
+		valid:      true,
+	}
+	return floor, published
+}
+
+// noteOwnLoad raises t's cached floor for loc to idx after t read the
+// store at mo index idx: the thread's own loads are always covered by
+// its own clock, so the read-read floor tightens without any epoch
+// moving. A stale-keyed entry is updated harmlessly (it cannot match).
+func (s *System) noteOwnLoad(t *Thread, loc *location, idx int) {
+	if s.cfg.DisableFloorCache {
+		return
+	}
+	if e := loc.cacheFor(t.id); e.valid && idx > e.floor {
+		e.floor = idx
+	}
+}
+
+// visibleFloorScan is the uncached visibility computation.
+func (s *System) visibleFloorScan(t *Thread, loc *location, scIdx int) (floor int, published bool) {
 	for i, st := range loc.stores {
 		if t.clock.Contains(st.act.Thread, st.act.TSeq) {
 			published = true
@@ -295,17 +428,12 @@ func (s *System) visibleFloor(t *Thread, loc *location, ord memmodel.MemOrder) (
 			}
 		}
 	}
-	for _, lr := range loc.loads {
-		if lr.rfMO > floor && t.clock.Contains(lr.tid, lr.tseq) {
-			floor = lr.rfMO
+	if loc.maxLoadRF > floor {
+		for _, lr := range loc.loads {
+			if lr.rfMO > floor && t.clock.Contains(lr.tid, lr.tseq) {
+				floor = lr.rfMO
+			}
 		}
-	}
-	// Effective SC position of the reader.
-	scIdx := -1
-	if ord.IsSeqCst() {
-		scIdx = s.scCount // all existing SC actions precede it
-	} else if t.lastSCFence >= 0 {
-		scIdx = t.lastSCFence
 	}
 	if scIdx >= 0 {
 		for _, f := range loc.scFloors {
@@ -315,6 +443,74 @@ func (s *System) visibleFloor(t *Thread, loc *location, ord memmodel.MemOrder) (
 		}
 	}
 	return floor, published
+}
+
+// addLoad appends a read-read coherence record and maintains the scan
+// bound and compaction schedule.
+func (s *System) addLoad(t *Thread, loc *location, idx int) {
+	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
+	if idx > loc.maxLoadRF {
+		loc.maxLoadRF = idx
+	}
+	if loc.atomic {
+		s.maybeCompactLoads(loc)
+	}
+}
+
+// maybeCompactLoads discards loadRec entries that can never again raise a
+// visibility floor. A record with rfMO <= glb is dead, where glb is the
+// minimum over all unfinished threads of the thread's store-derived floor
+// for loc: any future load's floor starts at its thread's store floor,
+// store floors only grow over time (clocks only gain entries, the
+// modification order only appends), and a future thread inherits its
+// spawner's clock, hence a store floor >= the spawner's. So every floor
+// any future load can compute is >= glb, and records at or below it are
+// dominated forever. Plain locations are never compacted — their load
+// records feed the data-race check, not just coherence.
+func (s *System) maybeCompactLoads(loc *location) {
+	if s.cfg.DisableLoadCompaction {
+		return
+	}
+	if loc.nextCompact == 0 {
+		loc.nextCompact = s.cfg.compactThreshold
+	}
+	if len(loc.loads) < loc.nextCompact {
+		return
+	}
+	glb := -1
+	live := false
+	for _, t := range s.threads {
+		if t.state == tsFinished {
+			continue
+		}
+		f := -1
+		for i, st := range loc.stores {
+			if t.clock.Contains(st.act.Thread, st.act.TSeq) {
+				f = i
+			}
+		}
+		if !live || f < glb {
+			glb = f
+		}
+		live = true
+	}
+	if live && glb >= 0 {
+		kept := loc.loads[:0]
+		maxRF := -1
+		for _, lr := range loc.loads {
+			if lr.rfMO > glb {
+				kept = append(kept, lr)
+				if lr.rfMO > maxRF {
+					maxRF = lr.rfMO
+				}
+			}
+		}
+		loc.loads = kept
+		loc.maxLoadRF = maxRF
+	}
+	// Re-arm after another threshold's worth of growth, so a location
+	// whose records are all live is not rescanned on every load.
+	loc.nextCompact = len(loc.loads) + s.cfg.compactThreshold
 }
 
 // checkPublished enforces CDSChecker's uninitialized-load check in its
@@ -331,6 +527,33 @@ func (s *System) checkPublished(t *Thread, loc *location, published bool, what s
 	s.failf(FailUninitLoad, "%s of %s: no initializing store happens-before the access (reads unpublished memory)", what, loc.name)
 }
 
+// validatePin recomputes the visibility record the chooser pinned and
+// panics on any mismatch — the DebugReplayCheck guard that frozen-prefix
+// replay really is deterministic. A mismatch is an internal invariant
+// violation, never a property of the checked program.
+func (s *System) validatePin(t *Thread, loc *location, ord memmodel.MemOrder, rec *floorRec) {
+	scIdx := -1
+	if ord.IsSeqCst() {
+		scIdx = s.scCount
+	} else if t.lastSCFence >= 0 {
+		scIdx = t.lastSCFence
+	}
+	floor, published := s.visibleFloorScan(t, loc, scIdx)
+	switch rec.kind {
+	case 'r':
+		n := len(loc.stores) - floor
+		if floor != rec.floor || published != rec.published || n != rec.n {
+			panic(fmt.Sprintf("checker: replay pin mismatch at load of %s: pinned floor=%d published=%v n=%d, recomputed floor=%d published=%v n=%d",
+				loc.name, rec.floor, rec.published, rec.n, floor, published, n))
+		}
+	case 'm':
+		if published != rec.published {
+			panic(fmt.Sprintf("checker: replay pin mismatch at RMW of %s: pinned published=%v, recomputed %v",
+				loc.name, rec.published, published))
+		}
+	}
+}
+
 // releaseClockFor computes the release clock ("sync clock") carried by a
 // new store: the clock an acquire load will merge when it reads the store.
 //   - A release-or-stronger store releases the thread's current clock.
@@ -341,13 +564,13 @@ func (s *System) releaseClockFor(t *Thread, ord memmodel.MemOrder, rfSync *memmo
 	var cv *memmodel.ClockVector
 	switch {
 	case ord.IsRelease():
-		cv = t.clock.Clone()
+		cv = s.snap(t.clock)
 	case t.relFence != nil:
-		cv = t.relFence.Clone()
+		cv = s.snap(t.relFence)
 	}
 	if rfSync != nil {
 		if cv == nil {
-			cv = memmodel.NewClockVector()
+			cv = s.blank()
 		}
 		cv.Merge(rfSync)
 	}
@@ -360,7 +583,9 @@ func (s *System) applyReadSync(t *Thread, ord memmodel.MemOrder, st storeRec) {
 		return
 	}
 	if ord.IsAcquire() {
-		t.clock.Merge(st.sync)
+		if t.clock.Merge(st.sync) {
+			t.clockEpoch++
+		}
 	} else {
 		// A later acquire fence can still pick this up.
 		t.acqPending.Merge(st.sync)
@@ -375,19 +600,35 @@ func (s *System) assignSC(act *memmodel.Action, ord memmodel.MemOrder) {
 }
 
 // doLoad implements an atomic load: compute the visible stores, branch on
-// the choice, apply synchronization, and record the action.
+// the choice, apply synchronization, and record the action. During
+// frozen-prefix replay the candidate set is pinned by the chooser and the
+// lifetime/visibility checks are skipped — they passed when the prefix
+// was first executed, and replay re-creates the identical state.
 func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmodel.Value {
 	s.bumpStep()
-	s.checkLifetime(t, loc, "atomic load")
-	if len(loc.stores) == 0 {
-		t.tseq++
-		t.clock.Set(t.id, t.tseq)
-		s.record(t, memmodel.KindAtomicLoad, ord, loc, 0)
-		s.failf(FailUninitLoad, "atomic load of %s before any store", loc.name)
+	var floor, n int
+	if rec, ok := s.chooser.pinnedFloor(); ok {
+		if rec.kind != 'r' {
+			panic(fmt.Sprintf("checker: replay pin desync: load of %s got record kind %q", loc.name, rec.kind))
+		}
+		if s.cfg.DebugReplayCheck {
+			s.validatePin(t, loc, ord, rec)
+		}
+		floor, n = rec.floor, rec.n
+	} else {
+		s.checkLifetime(t, loc, "atomic load")
+		if len(loc.stores) == 0 {
+			t.tseq++
+			t.clock.Set(t.id, t.tseq)
+			s.record(t, memmodel.KindAtomicLoad, ord, loc, 0)
+			s.failf(FailUninitLoad, "atomic load of %s before any store", loc.name)
+		}
+		var published bool
+		floor, published = s.visibleFloor(t, loc, ord)
+		s.checkPublished(t, loc, published, "atomic load")
+		n = len(loc.stores) - floor
+		s.chooser.noteFloor(floorRec{kind: 'r', floor: floor, published: published, n: n})
 	}
-	floor, published := s.visibleFloor(t, loc, ord)
-	s.checkPublished(t, loc, published, "atomic load")
-	n := len(loc.stores) - floor
 	idx := floor + s.chooser.choose(n, 'r')
 	st := loc.stores[idx]
 
@@ -397,7 +638,8 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 	act := s.record(t, memmodel.KindAtomicLoad, ord, loc, st.act.Value)
 	act.RF = st.act
 	s.assignSC(act, ord)
-	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
+	s.addLoad(t, loc, idx)
+	s.noteOwnLoad(t, loc, idx)
 	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: ord.IsSeqCst()})
 	return st.act.Value
@@ -415,7 +657,7 @@ func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memm
 	moIdx := len(loc.stores)
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
-	loc.lastStoreByThread[t.id] = moIdx
+	loc.setLastStoreByThread(t.id, moIdx)
 	s.assignSC(act, ord)
 	if act.SCIndex >= 0 {
 		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
@@ -429,22 +671,32 @@ func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memm
 // read half observes the mo-latest store; the write half is mo-adjacent.
 func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(memmodel.Value) memmodel.Value) memmodel.Value {
 	s.bumpStep()
-	s.checkLifetime(t, loc, "atomic RMW")
-	if len(loc.stores) == 0 {
-		t.tseq++
-		t.clock.Set(t.id, t.tseq)
-		s.record(t, memmodel.KindAtomicRMW, ord, loc, 0)
-		s.failf(FailUninitLoad, "atomic RMW of %s before any store", loc.name)
+	if rec, ok := s.chooser.pinnedFloor(); ok {
+		if rec.kind != 'm' {
+			panic(fmt.Sprintf("checker: replay pin desync: RMW of %s got record kind %q", loc.name, rec.kind))
+		}
+		if s.cfg.DebugReplayCheck {
+			s.validatePin(t, loc, ord, rec)
+		}
+	} else {
+		s.checkLifetime(t, loc, "atomic RMW")
+		if len(loc.stores) == 0 {
+			t.tseq++
+			t.clock.Set(t.id, t.tseq)
+			s.record(t, memmodel.KindAtomicRMW, ord, loc, 0)
+			s.failf(FailUninitLoad, "atomic RMW of %s before any store", loc.name)
+		}
+		_, published := s.visibleFloor(t, loc, ord)
+		s.checkPublished(t, loc, published, "atomic RMW")
+		s.chooser.noteFloor(floorRec{kind: 'm', published: published})
 	}
-	_, published := s.visibleFloor(t, loc, ord)
-	s.checkPublished(t, loc, published, "atomic RMW")
 	last := loc.stores[len(loc.stores)-1]
 	old := last.act.Value
 
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	s.applyReadSync(t, ord, last)
-	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: len(loc.stores) - 1})
+	s.addLoad(t, loc, len(loc.stores)-1)
 
 	sync := s.releaseClockFor(t, ord, last.sync)
 	act := s.record(t, memmodel.KindAtomicRMW, ord, loc, f(old))
@@ -452,7 +704,7 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 	moIdx := len(loc.stores)
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
-	loc.lastStoreByThread[t.id] = moIdx
+	loc.setLastStoreByThread(t.id, moIdx)
 	s.assignSC(act, ord)
 	if act.SCIndex >= 0 {
 		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
@@ -466,52 +718,69 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 //   - success (when the mo-latest value equals expected), plus
 //   - one failure alternative per visible store whose value differs from
 //     expected (a failing CAS is just a load with failOrd).
+//
+// Failure alternatives are counted, not materialized: the chosen one is
+// resolved by rank afterwards (and the resolution memoized on the pinned
+// record, so replays of the same branch skip even that scan).
 func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Value, succOrd, failOrd memmodel.MemOrder) (memmodel.Value, bool) {
 	s.bumpStep()
-	s.checkLifetime(t, loc, "CAS")
-	if len(loc.stores) == 0 {
-		t.tseq++
-		t.clock.Set(t.id, t.tseq)
-		s.record(t, memmodel.KindAtomicRMW, succOrd, loc, 0)
-		s.failf(FailUninitLoad, "CAS of %s before any store", loc.name)
-	}
-	lastIdx := len(loc.stores) - 1
-	last := loc.stores[lastIdx]
-	canSucceed := last.act.Value == expected
-
-	floor, published := s.visibleFloor(t, loc, failOrd)
-	s.checkPublished(t, loc, published, "CAS")
-	var failIdxs []int
-	for i := floor; i < len(loc.stores); i++ {
-		if loc.stores[i].act.Value != expected {
-			failIdxs = append(failIdxs, i)
+	var rec *floorRec
+	if r, ok := s.chooser.pinnedFloor(); ok {
+		if r.kind != 'c' {
+			panic(fmt.Sprintf("checker: replay pin desync: CAS of %s got record kind %q", loc.name, r.kind))
 		}
+		if s.cfg.DebugReplayCheck {
+			s.validateCASPin(t, loc, expected, failOrd, r)
+		}
+		rec = r
+	} else {
+		s.checkLifetime(t, loc, "CAS")
+		if len(loc.stores) == 0 {
+			t.tseq++
+			t.clock.Set(t.id, t.tseq)
+			s.record(t, memmodel.KindAtomicRMW, succOrd, loc, 0)
+			s.failf(FailUninitLoad, "CAS of %s before any store", loc.name)
+		}
+		canSucceed := loc.stores[len(loc.stores)-1].act.Value == expected
+		floor, published := s.visibleFloor(t, loc, failOrd)
+		s.checkPublished(t, loc, published, "CAS")
+		n := 0
+		for i := floor; i < len(loc.stores); i++ {
+			if loc.stores[i].act.Value != expected {
+				n++
+			}
+		}
+		if canSucceed {
+			n++
+		}
+		if n == 0 {
+			// Every visible store holds the expected value but the latest
+			// is not it — impossible since the latest is always visible;
+			// so n == 0 implies canSucceed was the only branch.
+			s.failf(FailAPIMisuse, "CAS on %s with no outcome", loc.name)
+		}
+		rec = s.chooser.noteFloor(floorRec{
+			kind: 'c', floor: floor, published: published, n: n,
+			canSucceed: canSucceed, resolvedFor: -1,
+		})
 	}
-	n := len(failIdxs)
-	if canSucceed {
-		n++
-	}
-	if n == 0 {
-		// Every visible store holds the expected value but the latest
-		// is not it — impossible since the latest is always visible;
-		// so n == 0 implies canSucceed was the only branch.
-		s.failf(FailAPIMisuse, "CAS on %s with no outcome", loc.name)
-	}
-	choice := s.chooser.choose(n, 'c')
+	choice := s.chooser.choose(rec.n, 'c')
 
-	if canSucceed && choice == 0 {
+	if rec.canSucceed && choice == 0 {
 		// Success: behave exactly like doRMW writing desired.
+		lastIdx := len(loc.stores) - 1
+		last := loc.stores[lastIdx]
 		t.tseq++
 		t.clock.Set(t.id, t.tseq)
 		s.applyReadSync(t, succOrd, last)
-		loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: lastIdx})
+		s.addLoad(t, loc, lastIdx)
 		sync := s.releaseClockFor(t, succOrd, last.sync)
 		act := s.record(t, memmodel.KindAtomicRMW, succOrd, loc, desired)
 		act.RF = last.act
 		moIdx := len(loc.stores)
 		act.MOIndex = moIdx
 		loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
-		loc.lastStoreByThread[t.id] = moIdx
+		loc.setLastStoreByThread(t.id, moIdx)
 		s.assignSC(act, succOrd)
 		if act.SCIndex >= 0 {
 			loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
@@ -520,10 +789,30 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: succOrd.IsSeqCst()})
 		return expected, true
 	}
-	if canSucceed {
-		choice--
+	idx := rec.resolvedIdx
+	if rec.resolvedFor != choice {
+		// Resolve the choice-th failure alternative: the rank-th store at
+		// or above the floor whose value differs from expected.
+		rank := choice
+		if rec.canSucceed {
+			rank--
+		}
+		idx = -1
+		for i := rec.floor; i < len(loc.stores); i++ {
+			if loc.stores[i].act.Value != expected {
+				if rank == 0 {
+					idx = i
+					break
+				}
+				rank--
+			}
+		}
+		if idx < 0 {
+			panic(fmt.Sprintf("checker: CAS of %s: failure alternative %d out of range", loc.name, choice))
+		}
+		rec.resolvedFor = choice
+		rec.resolvedIdx = idx
 	}
-	idx := failIdxs[choice]
 	st := loc.stores[idx]
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
@@ -531,10 +820,36 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 	act := s.record(t, memmodel.KindAtomicLoad, failOrd, loc, st.act.Value)
 	act.RF = st.act
 	s.assignSC(act, failOrd)
-	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
+	s.addLoad(t, loc, idx)
+	s.noteOwnLoad(t, loc, idx)
 	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: failOrd.IsSeqCst()})
 	return st.act.Value, false
+}
+
+// validateCASPin is validatePin for kind 'c'.
+func (s *System) validateCASPin(t *Thread, loc *location, expected memmodel.Value, failOrd memmodel.MemOrder, rec *floorRec) {
+	scIdx := -1
+	if failOrd.IsSeqCst() {
+		scIdx = s.scCount
+	} else if t.lastSCFence >= 0 {
+		scIdx = t.lastSCFence
+	}
+	floor, published := s.visibleFloorScan(t, loc, scIdx)
+	canSucceed := len(loc.stores) > 0 && loc.stores[len(loc.stores)-1].act.Value == expected
+	n := 0
+	for i := floor; i < len(loc.stores); i++ {
+		if loc.stores[i].act.Value != expected {
+			n++
+		}
+	}
+	if canSucceed {
+		n++
+	}
+	if floor != rec.floor || published != rec.published || n != rec.n || canSucceed != rec.canSucceed {
+		panic(fmt.Sprintf("checker: replay pin mismatch at CAS of %s: pinned floor=%d published=%v n=%d canSucceed=%v, recomputed floor=%d published=%v n=%d canSucceed=%v",
+			loc.name, rec.floor, rec.published, rec.n, rec.canSucceed, floor, published, n, canSucceed))
+	}
 }
 
 // doFence implements a stand-alone fence.
@@ -543,10 +858,12 @@ func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	if ord.IsAcquire() {
-		t.clock.Merge(t.acqPending)
+		if t.clock.Merge(t.acqPending) {
+			t.clockEpoch++
+		}
 	}
 	if ord.IsRelease() {
-		t.relFence = t.clock.Clone()
+		t.relFence = s.snap(t.clock)
 	}
 	act := s.record(t, memmodel.KindFence, ord, nil, 0)
 	s.assignSC(act, ord)
@@ -562,7 +879,7 @@ func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
 			if !loc.atomic {
 				continue
 			}
-			if mo, ok := loc.lastStoreByThread[t.id]; ok {
+			if mo := loc.lastStoreByThread(t.id); mo >= 0 {
 				loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: mo})
 			}
 		}
@@ -601,7 +918,7 @@ func (s *System) doPlainLoad(t *Thread, loc *location) memmodel.Value {
 	st := loc.stores[best]
 	act := s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, st.act.Value)
 	act.RF = st.act
-	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: best})
+	s.addLoad(t, loc, best)
 	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: best})
 	return st.act.Value
 }
@@ -630,5 +947,5 @@ func (s *System) doPlainStore(t *Thread, loc *location, v memmodel.Value) {
 	moIdx := len(loc.stores)
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act})
-	loc.lastStoreByThread[t.id] = moIdx
+	loc.setLastStoreByThread(t.id, moIdx)
 }

@@ -34,6 +34,13 @@ type Thread struct {
 	// clock is the thread's current happens-before clock (always
 	// includes all of the thread's own actions).
 	clock *memmodel.ClockVector
+	// clockEpoch counts the external merges that changed clock (acquire
+	// reads, acquire fences, joins, lock acquisitions). Raising the
+	// thread's own entry does not bump it: the visibility caches keyed on
+	// the epoch only depend on the thread's view of *other* threads'
+	// actions (its own stores move the global storeEpoch, its own loads
+	// are folded into the cache in place).
+	clockEpoch uint64
 	// tseq is the per-thread action counter.
 	tseq uint32
 
@@ -79,6 +86,53 @@ type Thread struct {
 	parked chan struct{}
 }
 
+// newThreadStruct builds a fresh Thread. clock ownership passes to the
+// thread.
+func newThreadStruct(s *System, id int, name string, fn func(*Thread), clock *memmodel.ClockVector) *Thread {
+	return &Thread{
+		sys:             s,
+		id:              id,
+		name:            name,
+		clock:           clock,
+		lastSCFence:     -1,
+		lastResortEpoch: ^uint64(0),
+		acqPending:      memmodel.NewClockVector(),
+		fn:              fn,
+		resume:          make(chan struct{}),
+		parked:          make(chan struct{}),
+	}
+}
+
+// reset returns a pooled Thread to its just-constructed state, keeping
+// the id, the channels (the previous execution's goroutine has fully
+// exited, so they are idle), and every clock's storage. src seeds the
+// clock (nil = empty).
+func (t *Thread) reset(s *System, name string, fn func(*Thread), src *memmodel.ClockVector) {
+	t.sys = s
+	t.name = name
+	if src == nil {
+		t.clock.Reset()
+	} else {
+		t.clock.CopyFrom(src)
+	}
+	t.clockEpoch = 0
+	t.tseq = 0
+	t.relFence = nil
+	t.acqPending.Reset()
+	t.lastSCFence = -1
+	t.lastAction = nil
+	t.yieldEpoch = 0
+	t.lastResortEpoch = ^uint64(0)
+	t.state = tsRunning
+	t.waitMutex = nil
+	t.waitThread = nil
+	t.finishClock = nil
+	t.skipNextPark = false
+	t.pendSig = pendSig{}
+	t.recentReads = t.recentReads[:0]
+	t.fn = fn
+}
+
 // ID returns the thread id (0 for the root thread).
 func (t *Thread) ID() int { return t.id }
 
@@ -97,12 +151,26 @@ func (t *Thread) LastAction() *memmodel.Action { return t.lastAction }
 // Clock returns a copy of the thread's current happens-before clock.
 func (t *Thread) Clock() *memmodel.ClockVector { return t.clock.Clone() }
 
-// park hands the baton back to the scheduler and blocks until granted
-// again. The caller must have set t.state (and any wait fields) first.
+// park is a scheduling point: the caller must have set t.state (and any
+// wait fields) first. The scheduling decision runs inline in the calling
+// goroutine — the baton passes directly from thread to thread without a
+// central scheduler goroutine in between, so re-picking the current
+// thread costs no context switch at all and switching threads costs one
+// channel handoff instead of two.
 func (t *Thread) park() {
-	t.parked <- struct{}{}
+	s := t.sys
+	next := s.nextThread()
+	if next == t {
+		t.state = tsRunning
+		return
+	}
+	if next == nil {
+		s.schedDone <- struct{}{}
+	} else {
+		next.resume <- struct{}{}
+	}
 	<-t.resume
-	if t.sys.aborted {
+	if s.aborted {
 		panic(abortRun{})
 	}
 	t.state = tsRunning
@@ -133,7 +201,7 @@ func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	t.sys.record(t, memmodel.KindThreadCreate, memmodel.Relaxed, nil, 0)
-	child := t.sys.newThread(name, fn, t.clock.Clone())
+	child := t.sys.newThread(name, fn, t.clock)
 	return child
 }
 
@@ -153,7 +221,9 @@ func (t *Thread) Join(child *Thread) {
 	t.sys.stepCount++
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	t.clock.Merge(child.finishClock)
+	if t.clock.Merge(child.finishClock) {
+		t.clockEpoch++
+	}
 	t.sys.record(t, memmodel.KindThreadJoin, memmodel.Relaxed, nil, 0)
 }
 
@@ -238,15 +308,24 @@ func (t *Thread) threadMain() {
 				t.sys.aborted = true
 			}
 		}
-		t.finishClock = t.clock.Clone()
+		t.finishClock = t.clock.Share()
 		t.state = tsFinished
+		// A finishing (or unwinding) thread holds the baton: pass it on
+		// exactly as park would, unless reap is already collecting
+		// goroutines (it owns the baton then). The parked send is the
+		// exit signal reap consumes before the Thread can be pooled.
+		if !t.sys.draining {
+			if next := t.sys.nextThread(); next != nil {
+				next.resume <- struct{}{}
+			} else {
+				t.sys.schedDone <- struct{}{}
+			}
+		}
 		t.parked <- struct{}{}
 	}()
 
-	// Park immediately: the spawner keeps the baton until the scheduler
-	// picks this thread.
-	t.state = tsParked
-	t.parked <- struct{}{}
+	// Born parked (newThread sets tsParked before the goroutine starts):
+	// block until a scheduling decision picks this thread.
 	<-t.resume
 	if t.sys.aborted {
 		panic(abortRun{})

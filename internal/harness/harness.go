@@ -8,7 +8,9 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,6 +39,55 @@ type Options struct {
 	// cache-on/off ablation runs. Results must be identical either way;
 	// only timings and the spec_cache_* counters change.
 	DisableSpecCache bool
+	// DisableKernelOpts turns off every memory-model kernel hot-path
+	// optimization (visibility-floor caching, execution pooling, load
+	// compaction, replay pinning) for every exploration the harness
+	// runs. Like DisableSpecCache, results must be bit-identical either
+	// way; the switch exists for ablation runs and the kernelbench
+	// before/after comparison.
+	DisableKernelOpts bool
+	// CPUProfile and MemProfile, when non-empty, are file paths the CLI
+	// writes pprof profiles to around the invoked experiment (see
+	// StartProfiles).
+	CPUProfile, MemProfile string
+}
+
+// StartProfiles starts CPU profiling when CPUProfile is set and returns
+// a stop function that finishes the CPU profile and writes the heap
+// profile when MemProfile is set. The stop function is always non-nil
+// and safe to call once.
+func (o Options) StartProfiles() (stop func() error, err error) {
+	var cpuFile *os.File
+	if o.CPUProfile != "" {
+		cpuFile, err = os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if o.MemProfile != "" {
+			f, err := os.Create(o.MemProfile)
+			if err != nil {
+				return fmt.Errorf("creating mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("writing mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
 }
 
 // spec builds the benchmark's spec with the harness-level cache switch
@@ -63,6 +114,12 @@ func (o Options) ExplorerConfig(name string) checker.Config {
 	cfg := checker.Config{ProgressInterval: o.ProgressInterval}
 	if o.Progress != nil {
 		cfg.Progress = func(p checker.Progress) { o.Progress(name, p) }
+	}
+	if o.DisableKernelOpts {
+		cfg.DisableFloorCache = true
+		cfg.DisablePooling = true
+		cfg.DisableLoadCompaction = true
+		cfg.DisableReplayPinning = true
 	}
 	return cfg
 }

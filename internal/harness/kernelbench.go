@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/checker"
+)
+
+// This file implements the kernel benchmark gate: every paper benchmark's
+// primary unit test explored through the bare checker — no spec monitor
+// attached, so the measurement isolates the memory-model kernel — once
+// with the hot-path optimizations on and once with them off. The rows
+// back EXPERIMENTS.md's before/after table and the BENCH_kernel.json CI
+// artifact.
+
+// KernelRow is one benchmark's kernel before/after measurement.
+type KernelRow struct {
+	Name       string `json:"name"`
+	Executions int    `json:"executions"`
+	Feasible   int    `json:"feasible"`
+	// OptTime/OptAllocs measure the run with every kernel optimization
+	// on (the defaults); BaseTime/BaseAllocs with every optimization
+	// off. Allocs counts heap allocations (runtime MemStats.Mallocs
+	// delta over the run).
+	OptTime    time.Duration `json:"opt_ns"`
+	BaseTime   time.Duration `json:"base_ns"`
+	OptAllocs  uint64        `json:"opt_allocs"`
+	BaseAllocs uint64        `json:"base_allocs"`
+	// Identical reports that both runs produced the same Executions,
+	// Feasible, Pruned, and FailureCount — the optimizations are pure
+	// performance transformations, so anything else is a checker bug.
+	Identical bool `json:"identical"`
+}
+
+// SpeedupX is the wall-clock ratio base/opt (>1 means the optimizations
+// help).
+func (r KernelRow) SpeedupX() float64 {
+	if r.OptTime <= 0 {
+		return 0
+	}
+	return float64(r.BaseTime) / float64(r.OptTime)
+}
+
+// AllocReductionPct is the percentage of heap allocations the optimized
+// run avoids relative to the baseline.
+func (r KernelRow) AllocReductionPct() float64 {
+	if r.BaseAllocs == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.OptAllocs)/float64(r.BaseAllocs))
+}
+
+// measureKernel explores prog exhaustively under cfg and returns the
+// result with the wall clock and the heap-allocation count of the run.
+func measureKernel(cfg checker.Config, prog func(*checker.Thread)) (*checker.Result, time.Duration, uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res := checker.Explore(cfg, prog)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return res, elapsed, after.Mallocs - before.Mallocs
+}
+
+// RunKernelBench measures every benchmark's kernel row. The rows run
+// strictly sequentially regardless of opts.Workers — the Mallocs delta
+// is process-wide, so concurrent rows would pollute each other's
+// allocation counts. opts' progress callback and kernel-opt switch are
+// ignored for the same reason: both sides of the comparison are fixed
+// here.
+func RunKernelBench(opts Options) []KernelRow {
+	rows := make([]KernelRow, 0, len(Benchmarks()))
+	for _, b := range Benchmarks() {
+		prog := b.Progs(b.Orders())[0]
+		optCfg := Options{}.ExplorerConfig(b.Name)
+		baseCfg := Options{DisableKernelOpts: true}.ExplorerConfig(b.Name)
+		optRes, optTime, optAllocs := measureKernel(optCfg, prog)
+		baseRes, baseTime, baseAllocs := measureKernel(baseCfg, prog)
+		rows = append(rows, KernelRow{
+			Name:       b.Name,
+			Executions: optRes.Executions,
+			Feasible:   optRes.Feasible,
+			OptTime:    optTime,
+			BaseTime:   baseTime,
+			OptAllocs:  optAllocs,
+			BaseAllocs: baseAllocs,
+			Identical: optRes.Executions == baseRes.Executions &&
+				optRes.Feasible == baseRes.Feasible &&
+				optRes.Pruned == baseRes.Pruned &&
+				optRes.FailureCount == baseRes.FailureCount,
+		})
+	}
+	return rows
+}
+
+// KernelSnapshotSchema identifies the BENCH_kernel.json layout.
+const KernelSnapshotSchema = "cdsspec-kernelbench/v1"
+
+// KernelSnapshot is the serialized form of a kernel benchmark run.
+type KernelSnapshot struct {
+	Schema string      `json:"schema"`
+	Rows   []KernelRow `json:"kernel"`
+}
+
+// KernelSnapshotJSON serializes rows into the BENCH_kernel.json blob.
+func KernelSnapshotJSON(rows []KernelRow) ([]byte, error) {
+	return json.MarshalIndent(&KernelSnapshot{Schema: KernelSnapshotSchema, Rows: rows}, "", "  ")
+}
+
+// FormatKernelBench renders the rows as the EXPERIMENTS.md-style table.
+func FormatKernelBench(rows []KernelRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %10s %12s %12s %8s %12s %12s %8s %s\n",
+		"benchmark", "execs", "base-time", "opt-time", "speedup", "base-allocs", "opt-allocs", "alloc-%", "identical")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %10d %12s %12s %7.2fx %12d %12d %7.1f%% %v\n",
+			r.Name, r.Executions,
+			r.BaseTime.Round(10*time.Microsecond), r.OptTime.Round(10*time.Microsecond),
+			r.SpeedupX(), r.BaseAllocs, r.OptAllocs, r.AllocReductionPct(), r.Identical)
+	}
+	return sb.String()
+}

@@ -1,6 +1,7 @@
 package memmodel
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -174,4 +175,191 @@ func TestActionSCBefore(t *testing.T) {
 	if a.SCBefore(c) || c.SCBefore(a) {
 		t.Error("non-SC action must not be SC-ordered")
 	}
+}
+
+func TestClockShareCopyOnWrite(t *testing.T) {
+	// Inline-backed share: plain copy, fully independent.
+	a := NewClockVector()
+	a.Set(0, 5)
+	a.Set(3, 2)
+	s := a.Share()
+	a.Set(0, 9)
+	s.Set(3, 7)
+	if s.Get(0) != 5 || a.Get(3) != 2 {
+		t.Errorf("inline share not independent: s[0]=%d a[3]=%d", s.Get(0), a.Get(3))
+	}
+
+	// Heap-backed share: backing array is shared until first write.
+	big := NewClockVector()
+	for i := 0; i <= inlineClockSize; i++ {
+		big.Set(i, uint32(i+1))
+	}
+	snap := big.Share()
+	big.Set(0, 100) // must copy, not corrupt snap
+	if snap.Get(0) != 1 {
+		t.Errorf("mutating original leaked into shared snapshot: got %d", snap.Get(0))
+	}
+	snap2 := big.Share()
+	snap2.Set(1, 100) // mutating the snapshot must copy too
+	if big.Get(1) != 2 {
+		t.Errorf("mutating snapshot leaked into original: got %d", big.Get(1))
+	}
+	// Growing a shared clock must not extend into the shared backing array.
+	snap3 := big.Share()
+	big.Set(inlineClockSize+5, 1)
+	if snap3.Len() > inlineClockSize+1 || snap3.Get(inlineClockSize+5) != 0 {
+		t.Error("growing original extended shared snapshot")
+	}
+}
+
+func TestClockShareMergeNoChangeKeepsSharing(t *testing.T) {
+	big := NewClockVector()
+	for i := 0; i <= inlineClockSize; i++ {
+		big.Set(i, 10)
+	}
+	snap := big.Share()
+	small := NewClockVector()
+	small.Set(0, 3)
+	if snap.Merge(small) {
+		t.Error("dominated merge reported a change")
+	}
+	if snap.Merge(big) {
+		t.Error("self-valued merge reported a change")
+	}
+	other := NewClockVector()
+	other.Set(1, 99)
+	if !snap.Merge(other) {
+		t.Error("raising merge did not report a change")
+	}
+	if big.Get(1) == 99 {
+		t.Error("merge into snapshot leaked into original")
+	}
+}
+
+func TestClockGrowZeroesRecycledCapacity(t *testing.T) {
+	v := NewClockVector()
+	for i := 0; i < 2*inlineClockSize; i++ {
+		v.Set(i, uint32(i+1))
+	}
+	v.Reset()
+	if v.Len() != 0 {
+		t.Fatalf("Reset left Len=%d", v.Len())
+	}
+	v.Set(2*inlineClockSize-1, 1) // regrow into retained capacity
+	for i := 0; i < 2*inlineClockSize-1; i++ {
+		if v.Get(i) != 0 {
+			t.Fatalf("stale value survived Reset+grow at %d: %d", i, v.Get(i))
+		}
+	}
+}
+
+func TestClockResetOfSharedSnapshot(t *testing.T) {
+	big := NewClockVector()
+	for i := 0; i <= inlineClockSize; i++ {
+		big.Set(i, 7)
+	}
+	snap := big.Share()
+	snap.Reset()
+	if big.Get(0) != 7 {
+		t.Error("resetting a shared snapshot zeroed the original")
+	}
+	if snap.Len() != 0 {
+		t.Error("Reset did not empty the snapshot")
+	}
+}
+
+func TestClockCopyFromReusesStorage(t *testing.T) {
+	src := NewClockVector()
+	src.Set(1, 4)
+	src.Set(5, 2)
+	dst := NewClockVector()
+	dst.Set(2, 99)
+	dst.CopyFrom(src)
+	if !dst.DominatedBy(src) || !src.DominatedBy(dst) {
+		t.Error("CopyFrom did not produce an equal clock")
+	}
+	if dst.Get(2) != 0 {
+		t.Errorf("CopyFrom left stale entry: %d", dst.Get(2))
+	}
+	dst.Set(0, 50)
+	if src.Get(0) != 0 {
+		t.Error("CopyFrom aliased the source")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst.CopyFrom(src)
+	})
+	if allocs != 0 {
+		t.Errorf("CopyFrom into sized storage allocated %.0f times", allocs)
+	}
+}
+
+func TestClockInlineOpsDoNotAllocate(t *testing.T) {
+	a := NewClockVector()
+	a.Set(3, 5)
+	b := NewClockVector()
+	b.Set(inlineClockSize-1, 2)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Merge(b)
+		a.Set(0, a.Get(0)+1)
+	})
+	if allocs != 0 {
+		t.Errorf("inline Merge/Set allocated %.0f times per run", allocs)
+	}
+}
+
+// BenchmarkClockGrow measures extending a fresh clock to n entries — the
+// satellite fix replacing one-append-per-entry growth with a single
+// make+copy.
+func BenchmarkClockGrow(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v := NewClockVector()
+				v.Set(n-1, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkClockMerge(b *testing.B) {
+	a := NewClockVector()
+	o := NewClockVector()
+	for i := 0; i < 4; i++ {
+		a.Set(i, uint32(2*i))
+		o.Set(i, uint32(2*i+1))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Merge(o)
+	}
+}
+
+func BenchmarkClockSnapshot(b *testing.B) {
+	small := NewClockVector()
+	for i := 0; i < 4; i++ {
+		small.Set(i, uint32(i+1))
+	}
+	b.Run("share-inline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = small.Share()
+		}
+	})
+	big := NewClockVector()
+	for i := 0; i < 4*inlineClockSize; i++ {
+		big.Set(i, uint32(i+1))
+	}
+	b.Run("share-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = big.Share()
+		}
+	})
+	b.Run("clone-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = big.Clone()
+		}
+	})
 }
