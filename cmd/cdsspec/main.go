@@ -7,6 +7,8 @@
 //	cdsspec overlystrong         reproduce the §6.4.3 overly strong CAS
 //	cdsspec specstats            print the §6.2 specification statistics
 //	cdsspec run <benchmark>      explore one benchmark's unit test
+//	cdsspec explore <benchmark>  parallel exploration with checkpointing
+//	cdsspec resume <file>        resume a checkpointed exploration
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
 //	cdsspec json <benchmark>     print one execution + stats as JSON
 //	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (any schema)
@@ -19,12 +21,14 @@
 // Flags: -workers N (global or per-subcommand), and per-subcommand
 // -json (machine-readable output), -progress (periodic progress to
 // stderr), -nocache (disable spec-check memoization), -nokernelopts
-// (disable the kernel hot-path optimizations), and -cpuprofile/
-// -memprofile (write pprof profiles of the subcommand). The fuzz and
-// shrink subcommands add -seed, -count, -budget, -corpus, -weaken and
-// -index (see their help text). Subcommand flags go between the
-// subcommand and its positional arguments: cdsspec run -progress
-// "M&S Queue".
+// (disable the kernel hot-path optimizations), -par N (work-stealing
+// exploration workers), and -cpuprofile/-memprofile (write pprof
+// profiles of the subcommand). The explore and resume subcommands add
+// -max, -checkpoint, -checkpoint-every and -verify (see their help
+// text); a SIGINT stops them gracefully and writes a final checkpoint.
+// The fuzz and shrink subcommands add -seed, -count, -budget, -corpus,
+// -weaken and -index. Subcommand flags go between the subcommand and
+// its positional arguments: cdsspec run -progress "M&S Queue".
 package main
 
 import (
@@ -33,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/checker"
 	"repro/internal/core"
@@ -55,6 +61,13 @@ type cli struct {
 	cpuProfile     string
 	memProfile     string
 
+	// explore / resume flags.
+	par             int
+	maxExecs        int
+	checkpointPath  string
+	checkpointEvery time.Duration
+	verify          bool
+
 	// fuzz / shrink / list -v flags.
 	seed       uint64
 	count      int
@@ -63,6 +76,17 @@ type cli struct {
 	weaken     string
 	index      int
 	verbose    bool
+}
+
+// parallelism resolves the exploration worker count for explore/resume:
+// -par wins, otherwise -workers doubles as the parallelism knob there
+// (the two subcommands run a single exploration, so the work-item pool
+// the flag normally sizes is empty anyway).
+func (c *cli) parallelism() int {
+	if c.par > 0 {
+		return c.par
+	}
+	return c.workers
 }
 
 func (c *cli) opts() harness.Options {
@@ -129,6 +153,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.StringVar(&c.weaken, "weaken", "", "fuzz/shrink: weaken this memory-order site one step (seeded bug)")
 	sub.IntVar(&c.index, "index", 0, "shrink: corpus entry index among the benchmark's entries")
 	sub.BoolVar(&c.verbose, "v", false, "list: include op registries and memory-order sites")
+	sub.IntVar(&c.par, "par", 0, "explore/resume: work-stealing workers (0 = use -workers, 1 = sequential engine)")
+	sub.IntVar(&c.maxExecs, "max", 0, "explore/resume: total execution budget incl. checkpointed work (0 = exhaustive)")
+	sub.StringVar(&c.checkpointPath, "checkpoint", "", "explore/resume: write the exploration checkpoint to this file")
+	sub.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "explore/resume: also checkpoint periodically at this interval")
+	sub.BoolVar(&c.verify, "verify", false, "resume: re-explore sequentially from scratch and require a bit-identical result")
 	if err := sub.Parse(rest[1:]); err != nil {
 		return 2
 	}
@@ -181,6 +210,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.runOne(pos[0])
+	case "explore":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec explore [-par N] [-max N] [-checkpoint file] [-checkpoint-every dur] [-json] [-progress] <benchmark>")
+			return 2
+		}
+		return c.exploreCmd(pos[0])
+	case "resume":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec resume [-par N] [-max N] [-checkpoint file] [-verify] [-json] [-progress] <file>")
+			return 2
+		}
+		return c.resumeCmd(pos[0])
 	case "dot":
 		if len(pos) < 1 {
 			fmt.Fprintln(stderr, "usage: cdsspec dot <benchmark>")
@@ -223,7 +264,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-cpuprofile file] [-memprofile file]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-cpuprofile file] [-memprofile file]")
+	fmt.Fprintln(w, "  explore/resume flags: -par N -max N -checkpoint file -checkpoint-every dur -verify")
 	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
 }
 
@@ -401,6 +443,187 @@ func (c *cli) jsonOne(name string) int {
 		return 1
 	}
 	fmt.Fprintln(c.stdout, string(blob))
+	return 0
+}
+
+// interruptOnSignal returns a channel that closes on the first SIGINT,
+// plus a cleanup func. The engine drains gracefully and writes its final
+// checkpoint; a second SIGINT kills the process the usual way because
+// the handler is removed after the first.
+func interruptOnSignal() (<-chan struct{}, func()) {
+	intr := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		if _, ok := <-sig; ok {
+			signal.Stop(sig)
+			close(intr)
+		}
+	}()
+	return intr, func() { signal.Stop(sig); close(sig) }
+}
+
+// checkpointWriter builds the Config.Checkpoint hook: every snapshot
+// (periodic and final) is wrapped in the benchmark-pinning envelope and
+// atomically written to path. Write errors go to stderr but don't stop
+// the exploration — the previous checkpoint on disk stays intact.
+func (c *cli) checkpointWriter(path, benchmark string) func(*checker.Checkpoint) {
+	return func(cp *checker.Checkpoint) {
+		cf := &harness.CheckpointFile{
+			Schema:       harness.CheckpointFileSchema,
+			Benchmark:    benchmark,
+			Workers:      c.parallelism(),
+			NoCache:      c.nocache,
+			NoKernelOpts: c.nokernelopts,
+			State:        cp,
+		}
+		if err := harness.WriteCheckpointFile(path, cf); err != nil {
+			fmt.Fprintln(c.stderr, err)
+		}
+	}
+}
+
+// printExploreResult summarizes one exploration, either human-readable
+// or as the same JSON shape jsonOne emits (minus the trace).
+func (c *cli) printExploreResult(name string, res *checker.Result) int {
+	if c.jsonOut {
+		out := struct {
+			Benchmark string          `json:"benchmark"`
+			Result    *checker.Result `json:"result"`
+		}{Benchmark: name, Result: res}
+		blob, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(c.stderr, "encoding result: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(c.stdout, string(blob))
+		return 0
+	}
+	state := "stopped"
+	if res.Exhausted {
+		state = "exhausted"
+	}
+	fmt.Fprintf(c.stdout, "%s: %d executions (%d feasible, %d pruned, %d failures) in %v — %s\n",
+		name, res.Executions, res.Feasible, res.Pruned, res.FailureCount,
+		res.Elapsed.Round(timeUnit), state)
+	if res.Stats.Steals > 0 || res.Stats.MaxFrontier > 0 {
+		fmt.Fprintf(c.stdout, "  scheduler: %d steals, frontier high-water %d, worker-busy %v\n",
+			res.Stats.Steals, res.Stats.MaxFrontier, res.Stats.WorkerBusy.Round(timeUnit))
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(c.stdout, "  failure at execution %d: %v\n", f.Execution, f)
+	}
+	return 0
+}
+
+// exploreCmd explores one benchmark's primary unit test under the
+// work-stealing engine, writing a checkpoint on SIGINT, periodically
+// with -checkpoint-every, and once more when the run ends.
+func (c *cli) exploreCmd(name string) int {
+	b := harness.BenchmarkByName(name)
+	if b == nil {
+		return unknownBenchmark(c.stderr, name)
+	}
+	if c.checkpointEvery > 0 && c.checkpointPath == "" {
+		fmt.Fprintln(c.stderr, "-checkpoint-every needs -checkpoint <file> to write to")
+		return 2
+	}
+	opts := c.opts()
+	opts.Parallelism = c.parallelism()
+	spec := b.Spec()
+	spec.DisableCheckCache = c.nocache
+	cfg := opts.ExplorerConfig(b.Name)
+	cfg.MaxExecutions = c.maxExecs
+	if c.checkpointPath != "" {
+		cfg.Checkpoint = c.checkpointWriter(c.checkpointPath, b.Name)
+		cfg.CheckpointEvery = c.checkpointEvery
+	}
+	intr, cleanup := interruptOnSignal()
+	defer cleanup()
+	cfg.Interrupt = intr
+	res := core.Explore(spec, cfg, b.Progs(b.Orders())[0])
+	if c.checkpointPath != "" && !c.jsonOut {
+		fmt.Fprintf(c.stdout, "checkpoint written to %s\n", c.checkpointPath)
+	}
+	return c.printExploreResult(b.Name, res)
+}
+
+// resumeCmd continues an exploration from a checkpoint file. The
+// envelope's -nocache/-nokernelopts switches are adopted so the resumed
+// half explores under the exact configuration of the first half. With
+// -verify the result is additionally checked bit-identical against a
+// fresh sequential exploration. Re-checkpointing goes back to the same
+// file unless -checkpoint names another.
+func (c *cli) resumeCmd(path string) int {
+	cf, err := harness.ReadCheckpointFile(path)
+	if err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 1
+	}
+	c.nocache = cf.NoCache
+	c.nokernelopts = cf.NoKernelOpts
+	b := harness.BenchmarkByName(cf.Benchmark)
+	opts := c.opts()
+	opts.Parallelism = c.parallelism()
+	spec := b.Spec()
+	spec.DisableCheckCache = c.nocache
+	cfg := opts.ExplorerConfig(b.Name)
+	cfg.MaxExecutions = c.maxExecs
+	cfg.ResumeFrom = cf.State
+	rePath := c.checkpointPath
+	if rePath == "" {
+		rePath = path
+	}
+	cfg.Checkpoint = c.checkpointWriter(rePath, b.Name)
+	cfg.CheckpointEvery = c.checkpointEvery
+	intr, cleanup := interruptOnSignal()
+	defer cleanup()
+	cfg.Interrupt = intr
+	res := core.Explore(spec, cfg, b.Progs(b.Orders())[0])
+	if code := c.printExploreResult(b.Name, res); code != 0 {
+		return code
+	}
+	if c.verify {
+		return c.verifyResumed(b, res)
+	}
+	return 0
+}
+
+// verifyResumed re-explores the benchmark sequentially from scratch and
+// requires the resumed result to match bit-for-bit (timings, scheduler
+// telemetry, and the spec-cache hit/miss split exempt — see
+// harness.ResumeComparableStats) — the checkpoint round-trip smoke check
+// CI runs.
+func (c *cli) verifyResumed(b *harness.Benchmark, resumed *checker.Result) int {
+	opts := c.opts()
+	opts.Parallelism = 0
+	spec := b.Spec()
+	spec.DisableCheckCache = c.nocache
+	cfg := opts.ExplorerConfig(b.Name)
+	cfg.MaxExecutions = c.maxExecs
+	seq := core.Explore(spec, cfg, b.Progs(b.Orders())[0])
+	switch {
+	case seq.Executions != resumed.Executions,
+		seq.Feasible != resumed.Feasible,
+		seq.Pruned != resumed.Pruned,
+		seq.Exhausted != resumed.Exhausted,
+		seq.FailureCount != resumed.FailureCount:
+		fmt.Fprintf(c.stderr, "verify FAILED: sequential %+v vs resumed %+v\n", seq, resumed)
+		return 1
+	case harness.ResumeComparableStats(seq.Stats) != harness.ResumeComparableStats(resumed.Stats):
+		fmt.Fprintf(c.stderr, "verify FAILED: stats diverge\n  sequential: %+v\n  resumed:    %+v\n",
+			harness.ResumeComparableStats(seq.Stats), harness.ResumeComparableStats(resumed.Stats))
+		return 1
+	}
+	for i := range seq.Failures {
+		sf, rf := seq.Failures[i], resumed.Failures[i]
+		if sf.Kind != rf.Kind || sf.Execution != rf.Execution {
+			fmt.Fprintf(c.stderr, "verify FAILED: failure %d diverges: %v@%d vs %v@%d\n",
+				i, sf.Kind, sf.Execution, rf.Kind, rf.Execution)
+			return 1
+		}
+	}
+	fmt.Fprintln(c.stdout, "verify OK: resumed result is bit-identical to a fresh sequential exploration")
 	return 0
 }
 

@@ -26,14 +26,17 @@ type Config struct {
 	// (0 = exhaustive). It applies to both DFS and RandomWalk mode.
 	MaxExecutions int
 	// Parallelism is the number of worker goroutines exploring
-	// concurrently (0 or 1 = sequential). DFS mode shards the subtrees of
-	// the root decision across workers and merges results
-	// deterministically: an exhaustive parallel run returns bit-identical
-	// Executions/Feasible/Pruned/Failures to the sequential run.
-	// RandomWalk mode shards the walk count, with each worker drawing
-	// from an independent seed derived from Seed. When Parallelism > 1
-	// the OnRunStart and OnExecution hooks must be safe for concurrent
-	// use (each call still receives a distinct *System).
+	// concurrently (0 or 1 = sequential). DFS mode explores with
+	// work-stealing over decision subtrees — each worker owns a Chase-Lev
+	// deque of frontier tasks and steals when dry — while folding every
+	// task's result at its canonical decision-path position, so an
+	// exhaustive parallel run returns bit-identical
+	// Executions/Feasible/Pruned/Failures/Stats (timings and scheduler
+	// telemetry aside) to the sequential run. RandomWalk mode shards the
+	// walk count, with each worker drawing from an independent seed
+	// derived from Seed. When Parallelism > 1 the OnRunStart and
+	// OnExecution hooks must be safe for concurrent use (each call still
+	// receives a distinct *System).
 	Parallelism int
 	// MaxSteps bounds the visible operations per execution; runs that
 	// exceed it are pruned as infeasible. 0 uses a default of 4000.
@@ -102,14 +105,15 @@ type Config struct {
 	OnExecution func(sys *System) []*Failure
 	// NewScratch, when set, is called once per exploration shard and its
 	// result is exposed to the hooks as System.Scratch for every execution
-	// of that shard. A shard is the unit of single-threaded exploration
-	// whose boundaries coincide between sequential and parallel DFS: in
-	// sequential DFS each branch of the root decision node opens a fresh
-	// shard; in parallel DFS each branch is one task (the probe execution
-	// belongs to branch 0's shard); in RandomWalk mode each worker is a
-	// shard. The CDSSpec layer keeps its spec-check memoization cache
-	// here — the alignment is what keeps cache-derived Stats counters
-	// bit-identical between exhaustive sequential and parallel runs.
+	// of that shard. A shard's boundaries coincide between sequential and
+	// parallel DFS: each branch of the root decision node is one shard (in
+	// RandomWalk mode each worker is a shard). The CDSSpec layer keeps its
+	// spec-check memoization cache here — the alignment is what keeps
+	// cache-derived Stats counters bit-identical between exhaustive
+	// sequential and parallel runs. Under parallel DFS several workers may
+	// explore one shard concurrently (work-stealing carves shards into
+	// subtree tasks), so when Parallelism > 1 the scratch value must be
+	// safe for concurrent use; the CDSSpec cache locks internally.
 	NewScratch func() any
 	// Progress, when set, receives a periodic snapshot of the running
 	// exploration every ProgressInterval, plus a closing snapshot with
@@ -121,10 +125,42 @@ type Config struct {
 	// (default 1s).
 	ProgressInterval time.Duration
 
+	// Checkpoint, when set, receives serialized snapshots of the DFS
+	// exploration state: the outstanding decision frontier plus the
+	// Result/Stats accumulated so far (see Checkpoint). It is called
+	// every CheckpointEvery (when positive) and once more after the
+	// workers stop — whether the run completed, hit MaxExecutions, or was
+	// interrupted — never concurrently with itself. Setting it routes
+	// even Parallelism <= 1 runs through the work-stealing engine.
+	// RandomWalk mode does not checkpoint (walks are independent; rerun
+	// the missing count instead).
+	Checkpoint func(*Checkpoint)
+	// CheckpointEvery is the period between Checkpoint snapshots (0 =
+	// only the final snapshot).
+	CheckpointEvery time.Duration
+	// ResumeFrom continues a previous exploration from its checkpoint:
+	// completed regions are folded as-is and only the outstanding
+	// frontier is explored, at any Parallelism. The final Result is
+	// bit-identical (timings aside) to an uninterrupted run. Explore
+	// panics if the checkpoint fails Validate.
+	ResumeFrom *Checkpoint
+	// Interrupt, when non-nil, makes the engine stop gracefully as soon
+	// as the channel is closed (or receives): workers finish their
+	// current execution, the final Checkpoint snapshot is emitted, and
+	// Explore returns the partial Result. Wire a signal handler to it for
+	// SIGINT-driven checkpointing.
+	Interrupt <-chan struct{}
+
 	// progress is the live tracker behind the Progress callback, shared
 	// by every worker of this exploration. Explore installs it on its
 	// private withDefaults copy.
 	progress *progressTracker
+}
+
+// wantsEngine reports whether checkpoint/resume/interrupt plumbing
+// requires the work-stealing engine even at Parallelism <= 1.
+func (c *Config) wantsEngine() bool {
+	return c.Checkpoint != nil || c.CheckpointEvery > 0 || c.ResumeFrom != nil || c.Interrupt != nil
 }
 
 func (c *Config) withDefaults() *Config {
@@ -344,6 +380,12 @@ func (d *dfsChooser) choose(n int, kind byte) int {
 		return 0
 	}
 	if d.depth < len(d.decisions) {
+		// Refresh callIdx while replaying: it is a pure function of the
+		// path (the vlog position when the node is reached), so recomputing
+		// it here keeps prefixes handed over by the work-stealing engine —
+		// which copies decisions between choosers without vlog context —
+		// valid anchors for the next resetTo.
+		d.decisions[d.depth].callIdx = d.vpos
 		c := d.decisions[d.depth].chosen
 		d.depth++
 		d.noteDecision(false, false)
@@ -377,6 +419,7 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	}
 	if d.depth < len(d.decisions) {
 		nd := &d.decisions[d.depth]
+		nd.callIdx = d.vpos // see choose: path-intrinsic, refreshed on replay
 		d.depth++
 		d.noteDecision(false, true)
 		if !d.disableSleep {
@@ -432,6 +475,37 @@ func (d *dfsChooser) advanceFrom(floor int) bool {
 		}
 	}
 	return false
+}
+
+// resetTo repositions the chooser on a frozen decision path — the
+// work-stealing engine's replacement for advance. The new path and the
+// chooser's current decisions agree up to their first differing choice;
+// value-site records recorded strictly below that node's call position
+// stay valid for replay pinning, exactly as rewindVlog arranges when
+// advance flips the same node. When the chooser carries no usable prefix
+// (fresh worker, or a steal that shares nothing) the vlog conservatively
+// invalidates entirely.
+func (d *dfsChooser) resetTo(path []decision) {
+	div := 0
+	for div < len(d.decisions) && div < len(path) &&
+		d.decisions[div].kind == path[div].kind && d.decisions[div].chosen == path[div].chosen {
+		div++
+	}
+	if d.pin {
+		v := 0
+		if div < len(d.decisions) {
+			// d.decisions[div] was replayed or created by the previous
+			// execution, so its callIdx is current (see choose).
+			v = d.decisions[div].callIdx
+			if v > len(d.vlog) {
+				v = len(d.vlog)
+			}
+		}
+		d.vvalid = v
+		d.vpos = 0
+	}
+	d.decisions = append(d.decisions[:0], path...)
+	d.depth = 0
 }
 
 // rootBranch identifies the branch of the root decision node the chooser
@@ -604,7 +678,7 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 		c.progress = newProgressTracker(c.Progress, c.ProgressInterval, c.MaxExecutions)
 		defer c.progress.close()
 	}
-	if c.Parallelism > 1 {
+	if c.Parallelism > 1 || (c.RandomWalk == 0 && c.wantsEngine()) {
 		return exploreParallel(c, root)
 	}
 	res := &Result{}

@@ -13,30 +13,31 @@ import (
 // RandomWalk mode shards the walk count across workers; every execution
 // already owns a private System, so only the Result merge matters.
 //
-// DFS mode uses prefix-sharding: one probe execution expands the root
-// decision node, then each of its subtrees — a frozen one-decision
-// prefix — becomes a task run by an ordinary replay-based dfsChooser
-// restricted with advanceFrom(1). Merging the per-subtree results in
-// branch order (with execution indices offset by the cumulative count of
-// earlier branches) reproduces the sequential DFS output bit-for-bit on
-// exhaustive runs, because sequential DFS visits exactly those subtrees
-// in that order.
+// DFS mode uses the work-stealing engine (worksteal.go): the decision
+// frontier is a set of unexplored subtree branches spread across
+// per-worker Chase-Lev deques, and every branch's result is folded at
+// its canonical decision-path position (frontier.go), which reproduces
+// the sequential DFS output bit-for-bit on exhaustive runs no matter
+// which worker explored which subtree. The same engine serves
+// checkpoint/resume at any parallelism (checkpoint.go).
 
-// exploreParallel is Explore for Parallelism > 1. c has defaults applied.
+// exploreParallel is Explore for Parallelism > 1 (and for any DFS run
+// with checkpoint/resume/interrupt plumbing). c has defaults applied.
 func exploreParallel(c *Config, root func(*Thread)) *Result {
 	start := time.Now()
 	var res *Result
 	if c.RandomWalk > 0 {
 		res = parallelRandomWalk(c, root)
 	} else {
-		res = parallelDFS(c, root)
+		res = exploreWorkSteal(c, root)
 	}
-	// Elapsed is the parallel run's wall clock, assigned here and only
-	// here; mergeInto deliberately never folds the per-worker timings into
-	// it (a per-worker sum can exceed wall clock by a factor of
-	// Parallelism). The Stats timing fields, by contrast, are cumulative
-	// across workers by design.
-	res.Elapsed = time.Since(start)
+	// Elapsed is the run's wall clock (plus, for resumed runs, the base
+	// the engine restored from the checkpoint — the only reason this adds
+	// instead of assigning). The merge deliberately never folds per-worker
+	// timings into it (a per-worker sum can exceed wall clock by a factor
+	// of Parallelism); the Stats timing fields, by contrast, are
+	// cumulative across workers by design.
+	res.Elapsed += time.Since(start)
 	return res
 }
 
@@ -46,7 +47,7 @@ type bounds struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	// max bounds total executions (0 = unlimited); executed counts
-	// reservations made so far.
+	// reservations made so far and never exceeds max.
 	max      int64
 	executed atomic.Int64
 }
@@ -60,25 +61,44 @@ func newBounds(maxExecutions, already int) *bounds {
 
 // tryStart reserves budget for one execution. Reserving before running
 // makes the total number of executions across all workers exactly equal
-// the bound.
+// the bound: the CAS loop never pushes the counter past max, so a
+// cancelled exploration cannot overshoot MaxExecutions — each worker
+// finishes at most the one execution it had already reserved before the
+// cancellation landed (an overshoot of executions-in-flight, bounded by
+// the worker count, never of the counter).
 func (b *bounds) tryStart() bool {
 	if b.ctx.Err() != nil {
 		return false
 	}
-	if b.max > 0 && b.executed.Add(1) > b.max {
-		return false
+	if b.max <= 0 {
+		return true
 	}
-	return true
+	for {
+		cur := b.executed.Load()
+		if cur >= b.max {
+			return false
+		}
+		if b.executed.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
 }
 
 // stopped reports whether the exploration was cancelled (StopAtFirst).
 func (b *bounds) stopped() bool { return b.ctx.Err() != nil }
 
 // runPool runs tasks 0..tasks-1 on at most workers goroutines and waits
-// for all of them.
+// for all of them. workers is clamped to [1, tasks]; zero tasks is a
+// no-op.
 func runPool(workers, tasks int, run func(task int)) {
+	if tasks <= 0 {
+		return
+	}
 	if workers > tasks {
 		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -100,28 +120,18 @@ func runPool(workers, tasks int, run func(task int)) {
 
 // mergeInto folds the per-task results into res in task order, offsetting
 // each failure's Execution index by the number of executions that earlier
-// tasks (and the probe, already in res) contributed. On exhaustive DFS
-// runs this reproduces the sequential numbering exactly.
+// tasks contributed. Each task retains up to maxFailures failures of its
+// own, so the ordered concatenation always contains every failure a
+// sequential run would have retained (sequential keeps the first
+// maxFailures in this exact order); the final cap then drops precisely
+// the surplus, never a failure the sequential run kept. Used by the
+// random-walk merge; DFS folds through foldList instead.
 func mergeInto(res *Result, locals []*Result, maxFailures int) {
 	for _, local := range locals {
 		if local == nil {
 			continue
 		}
-		for _, f := range local.Failures {
-			f.Execution += res.Executions
-		}
-		res.Failures = append(res.Failures, local.Failures...)
-		res.Executions += local.Executions
-		res.Feasible += local.Feasible
-		res.Pruned += local.Pruned
-		res.FailureCount += local.FailureCount
-		res.Stats.Merge(&local.Stats)
-	}
-	// Each task capped its retained failures locally; re-cap the ordered
-	// concatenation so the merged result keeps the first MaxFailures,
-	// just as a sequential run would.
-	if len(res.Failures) > maxFailures {
-		res.Failures = res.Failures[:maxFailures]
+		mergeResults(res, local, maxFailures)
 	}
 }
 
@@ -165,113 +175,5 @@ func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
 		}
 	})
 	mergeInto(res, locals, c.MaxFailures)
-	return res
-}
-
-// parallelDFS runs prefix-sharded exhaustive exploration: the probe
-// execution expands the root decision node, then each root branch is
-// explored by its own dfsChooser whose depth-0 decision is frozen.
-func parallelDFS(c *Config, root func(*Thread)) *Result {
-	res := &Result{}
-	probe := newDFSChooser(c)
-	probe.stats = &res.Stats
-	// The probe is the first execution of root branch 0, so it opens that
-	// branch's shard; task 0 continues with the same scratch, exactly as
-	// the sequential DFS would.
-	probeScratch := c.newScratch()
-	probePool := newExecPool(c)
-	failed := runOne(c, res, probe, root, probeScratch, probePool)
-	if failed && c.StopAtFirst {
-		return res
-	}
-	if c.MaxExecutions > 0 && res.Executions >= c.MaxExecutions {
-		return res
-	}
-	if len(probe.decisions) == 0 {
-		// A single deterministic execution: nothing to shard.
-		res.Exhausted = true
-		return res
-	}
-
-	// One task per branch of the root decision. Task 0 continues the
-	// probe's chooser (already positioned on branch 0's first leaf);
-	// task j > 0 starts a fresh chooser whose frozen prefix selects
-	// branch j.
-	rootNode := probe.decisions[0]
-	var branches int
-	if rootNode.kind == 's' {
-		branches = len(rootNode.cands)
-	} else {
-		branches = rootNode.n
-	}
-	choosers := make([]*dfsChooser, branches)
-	choosers[0] = probe
-	for j := 1; j < branches; j++ {
-		d := newDFSChooser(c)
-		if rootNode.kind == 's' {
-			// Branch j runs candidate j with candidates 0..j-1 already
-			// explored, so replay puts them to sleep exactly as the
-			// sequential DFS would when it reaches this branch.
-			cands := append([]int(nil), rootNode.cands...)
-			d.decisions = []decision{{
-				kind:     's',
-				cands:    cands,
-				chosen:   j,
-				explored: append([]int(nil), cands[:j]...),
-			}}
-		} else {
-			d.decisions = []decision{{kind: rootNode.kind, n: rootNode.n, chosen: j}}
-		}
-		choosers[j] = d
-	}
-
-	b := newBounds(c.MaxExecutions, res.Executions)
-	defer b.cancel()
-	locals := make([]*Result, branches)
-	exhausted := make([]bool, branches)
-	runPool(c.Parallelism, branches, func(task int) {
-		d := choosers[task]
-		local := &Result{}
-		locals[task] = local
-		// Re-point the chooser's counters at the task-local result (the
-		// probe's were aimed at res); the merge sums them back in branch
-		// order, reproducing the sequential totals.
-		d.stats = &local.Stats
-		// Each root branch is one shard: task 0 inherits the probe's
-		// scratch (and execution pool), other tasks open fresh ones —
-		// matching the sequential DFS, which renews its scratch at every
-		// root-branch boundary. Pools must not be shared across tasks:
-		// tasks run concurrently and a pool is single-threaded.
-		scratch := probeScratch
-		pool := probePool
-		if task != 0 {
-			scratch = c.newScratch()
-			pool = newExecPool(c)
-		}
-		// The probe already ran task 0's first leaf; every other task's
-		// chooser is positioned on an unexplored leaf.
-		needAdvance := task == 0
-		for {
-			if needAdvance && !d.advanceFrom(1) {
-				exhausted[task] = true
-				return
-			}
-			needAdvance = true
-			if !b.tryStart() {
-				return
-			}
-			failed := runOne(c, local, d, root, scratch, pool)
-			if failed && c.StopAtFirst {
-				b.cancel()
-				return
-			}
-		}
-	})
-	mergeInto(res, locals, c.MaxFailures)
-	all := true
-	for _, e := range exhausted {
-		all = all && e
-	}
-	res.Exhausted = all && !b.stopped()
 	return res
 }

@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -20,6 +21,12 @@ type Progress struct {
 	// SpecCacheHits mirrors Stats.SpecCacheHits: spec checks answered
 	// from the memoization cache so far (zero when caching is off).
 	SpecCacheHits int
+	// Steals counts frontier tasks taken from another worker's deque so
+	// far; Frontier is the current number of outstanding frontier entries
+	// (unexplored decision subtrees). Both stay zero outside the
+	// work-stealing DFS engine.
+	Steals   int
+	Frontier int
 	// Elapsed is the wall clock since the exploration started.
 	Elapsed time.Duration
 	// ExecsPerSec is the average execution rate so far.
@@ -51,8 +58,19 @@ type progressTracker struct {
 	fails     atomic.Int64
 	cacheHits atomic.Int64
 
+	// steals/frontier are gauges owned by the work-stealing engine,
+	// attached before its workers start (nil otherwise).
+	steals   *atomic.Int64
+	frontier *atomic.Int64
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// attachEngine points the tracker at the engine's live scheduler gauges.
+func (t *progressTracker) attachEngine(steals, frontier *atomic.Int64) {
+	t.steals = steals
+	t.frontier = frontier
 }
 
 func newProgressTracker(fn func(Progress), interval time.Duration, maxExecs int) *progressTracker {
@@ -108,13 +126,38 @@ func (t *progressTracker) snapshot(final bool) Progress {
 		Elapsed:       time.Since(t.start),
 		Final:         final,
 	}
+	if t.steals != nil {
+		p.Steals = int(t.steals.Load())
+	}
+	if t.frontier != nil {
+		p.Frontier = int(t.frontier.Load())
+	}
 	if secs := p.Elapsed.Seconds(); secs > 0 {
 		p.ExecsPerSec = float64(p.Executions) / secs
 	}
-	if t.maxExecs > 0 && p.ExecsPerSec > 0 && p.Executions < t.maxExecs {
-		p.ETA = time.Duration(float64(t.maxExecs-p.Executions) / p.ExecsPerSec * float64(time.Second))
-	}
+	p.ETA = etaFor(p.Executions, t.maxExecs, p.ExecsPerSec)
 	return p
+}
+
+// etaFor estimates the time remaining to reach maxExecs at the given
+// rate, clamped to zero. The clamp matters: on the final snapshot
+// Executions can exceed maxExecs (resumed runs start above the bound,
+// and in-flight workers land past it), and a snapshot racing the very
+// first execution can see a zero or non-finite rate — both previously
+// produced negative or NaN ETAs.
+func etaFor(executions, maxExecs int, rate float64) time.Duration {
+	if maxExecs <= 0 || rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return 0
+	}
+	remaining := maxExecs - executions
+	if remaining <= 0 {
+		return 0
+	}
+	eta := time.Duration(float64(remaining) / rate * float64(time.Second))
+	if eta < 0 {
+		return 0
+	}
+	return eta
 }
 
 // close stops the ticker goroutine and delivers the final snapshot from

@@ -67,6 +67,13 @@ type Stats struct {
 	// shards). Hits + Misses equals the feasible executions that reached
 	// the spec checker with caching enabled, and all three stay zero when
 	// the cache is disabled (Spec.DisableCheckCache).
+	//
+	// One caveat: checkpoints serialize the decision frontier, not the
+	// cache contents, so a resumed run starts its caches cold and a
+	// fingerprint first seen before the cut misses again after it. Across
+	// a resume boundary Hits+Misses is still exact, but the hit/miss
+	// split (and Entries) can shift toward misses; resume verification
+	// compares the total, not the split.
 	SpecCacheHits    int `json:"spec_cache_hits"`
 	SpecCacheMisses  int `json:"spec_cache_misses"`
 	SpecCacheEntries int `json:"spec_cache_entries"`
@@ -77,6 +84,21 @@ type Stats struct {
 	// fields are exempt from parallel-vs-sequential bit-identity.
 	ExploreTime time.Duration `json:"explore_ns"`
 	SpecTime    time.Duration `json:"spec_ns"`
+
+	// Work-stealing scheduler telemetry. Unlike every other counter these
+	// describe how the frontier happened to be carved across workers —
+	// schedule-dependent by nature — so, like the timings, they are
+	// exempt from sequential/parallel bit-identity and zeroed by
+	// WithoutTimings. Steals counts frontier tasks taken from another
+	// worker's deque; MaxFrontier is the high-water mark of outstanding
+	// frontier entries; WorkerBusy sums the wall clock workers spent
+	// inside executions (vs stealing or parked) — the numerator of the
+	// kernel-bench busy-fraction column. All three survive
+	// checkpoint/resume boundaries and stay zero outside the
+	// work-stealing engine.
+	Steals      int           `json:"steals"`
+	MaxFrontier int           `json:"max_frontier"`
+	WorkerBusy  time.Duration `json:"worker_busy_ns"`
 }
 
 // Merge folds o into s: counters add, depths max, timings add. The
@@ -102,13 +124,20 @@ func (s *Stats) Merge(o *Stats) {
 	s.SpecCacheEntries += o.SpecCacheEntries
 	s.ExploreTime += o.ExploreTime
 	s.SpecTime += o.SpecTime
+	s.Steals += o.Steals
+	if o.MaxFrontier > s.MaxFrontier {
+		s.MaxFrontier = o.MaxFrontier
+	}
+	s.WorkerBusy += o.WorkerBusy
 }
 
-// WithoutTimings returns a copy with the wall-clock fields zeroed — the
-// form the parallel determinism tests compare, since timing is the only
-// part of Stats allowed to differ between an exhaustive parallel run and
-// its sequential equivalent.
+// WithoutTimings returns a copy with the wall-clock and scheduler-
+// telemetry fields zeroed — the form the parallel determinism tests
+// compare, since timing and scheduling are the only parts of Stats
+// allowed to differ between an exhaustive parallel run and its
+// sequential equivalent.
 func (s Stats) WithoutTimings() Stats {
 	s.ExploreTime, s.SpecTime = 0, 0
+	s.Steals, s.MaxFrontier, s.WorkerBusy = 0, 0, 0
 	return s
 }

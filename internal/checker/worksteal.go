@@ -1,0 +1,349 @@
+package checker
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the work-stealing DFS engine (the parallel
+// explorer for Parallelism > 1, and the substrate for checkpoint/resume
+// at any parallelism). Each worker owns a Chase-Lev deque (wsdeque.go) of
+// frontier tasks (frontier.go): it pops its own bottom — descending into
+// the subtree it just opened, the sequential DFS order — and steals from
+// the top of a victim's deque when dry, taking the shallowest (and so
+// statistically largest) outstanding subtree. Results stay bit-identical
+// to sequential DFS because every task's result is folded at its
+// canonical decision-path position (foldList), never in completion order.
+
+// wsEngine is one work-stealing exploration.
+type wsEngine struct {
+	c    *Config
+	root func(*Thread)
+	b    *bounds
+	fold *foldList
+
+	deques []*wsDeque
+
+	// unfinished counts created-but-not-finished tasks; the last decrement
+	// to zero ends the run. Incremented before a task is published,
+	// decremented when it completes or is abandoned (budget/stop).
+	unfinished atomic.Int64
+	// steals and busy are scheduler telemetry (Stats.Steals /
+	// Stats.WorkerBusy); both are seeded from a resumed checkpoint.
+	steals atomic.Int64
+	busy   atomic.Int64
+
+	// stop requests a graceful halt: workers finish their current
+	// execution and exit, leaving unrun tasks pending in the fold list
+	// (where a final checkpoint picks them up).
+	stop atomic.Bool
+
+	// Per-root-branch shard state (Config.NewScratch), created lazily
+	// under scratchMu so the hook runs exactly once per branch — the same
+	// count a sequential run produces.
+	scratchMu sync.Mutex
+	scratches map[int]any
+
+	// lot parks idle workers: version increments on every publish (and on
+	// stop/done) so a sweep that raced a push never sleeps through it.
+	lot struct {
+		mu      sync.Mutex
+		cond    *sync.Cond
+		version uint64
+		done    bool
+	}
+
+	// resumed engine-level counters (frontier high-water mark of the
+	// prior run segments).
+	priorMaxFrontier int
+	// startTime anchors this segment's wall clock (checkpoints add the
+	// resumed base on top).
+	startTime time.Time
+}
+
+// exploreWorkSteal runs the engine; c has defaults applied. The returned
+// Result's Elapsed is owned by exploreParallel (the engine only adds the
+// resumed base).
+func exploreWorkSteal(c *Config, root func(*Thread)) *Result {
+	workers := c.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	e := &wsEngine{
+		c:         c,
+		root:      root,
+		fold:      newFoldList(c.MaxFailures),
+		deques:    make([]*wsDeque, workers),
+		scratches: map[int]any{},
+		startTime: time.Now(),
+	}
+	e.lot.cond = sync.NewCond(&e.lot.mu)
+	for w := range e.deques {
+		e.deques[w] = newWSDeque()
+	}
+
+	already := 0
+	var baseElapsed time.Duration
+	if cp := c.ResumeFrom; cp != nil {
+		already = e.restore(cp)
+		baseElapsed = cp.Elapsed
+	} else {
+		rootTask := &wsTask{}
+		e.fold.appendCell(&foldCell{task: rootTask})
+		e.deques[0].push(rootTask)
+		e.unfinished.Store(1)
+	}
+	e.b = newBounds(c.MaxExecutions, already)
+	defer e.b.cancel()
+	if c.progress != nil {
+		c.progress.attachEngine(&e.steals, &e.fold.pending)
+	}
+	if e.unfinished.Load() == 0 {
+		// Resumed a completed run: nothing outstanding.
+		e.lot.done = true
+	}
+
+	watcherStop := make(chan struct{})
+	var watchers sync.WaitGroup
+	if c.Interrupt != nil {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			select {
+			case <-c.Interrupt:
+				e.requestStop()
+			case <-watcherStop:
+			}
+		}()
+	}
+	if c.Checkpoint != nil && c.CheckpointEvery > 0 {
+		watchers.Add(1)
+		go func() {
+			defer watchers.Done()
+			tick := time.NewTicker(c.CheckpointEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					c.Checkpoint(e.checkpoint(baseElapsed))
+				case <-watcherStop:
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	close(watcherStop)
+	watchers.Wait()
+
+	if c.Checkpoint != nil {
+		// Final snapshot: with a drained frontier it is a single done
+		// cell (resuming it just returns the result); otherwise it is the
+		// outstanding frontier a resumed run continues from.
+		c.Checkpoint(e.checkpoint(baseElapsed))
+	}
+
+	res := e.fold.foldResult()
+	res.Stats.Steals += int(e.steals.Load())
+	if hw := e.fold.frontierHighWater(); hw > res.Stats.MaxFrontier {
+		res.Stats.MaxFrontier = hw
+	}
+	if e.priorMaxFrontier > res.Stats.MaxFrontier {
+		res.Stats.MaxFrontier = e.priorMaxFrontier
+	}
+	res.Stats.WorkerBusy += time.Duration(e.busy.Load())
+	// Exhausted mirrors the sequential loop: true only when the frontier
+	// drained without a stop and without consuming the entire execution
+	// budget (sequential DFS returns before testing advance() once the
+	// budget is spent, so an exactly-budget-sized space reports false).
+	res.Exhausted = e.fold.pendingCount() == 0 && !e.b.stopped() &&
+		(c.MaxExecutions == 0 || res.Executions < c.MaxExecutions)
+	res.Elapsed = baseElapsed
+	return res
+}
+
+// worker is one scheduler loop: drain the own deque bottom-first, then
+// steal; park when the whole frontier is in flight elsewhere.
+func (e *wsEngine) worker(w int) {
+	d := newDFSChooser(e.c)
+	pool := newExecPool(e.c)
+	dq := e.deques[w]
+	for {
+		if e.stop.Load() {
+			return
+		}
+		t := dq.popBottom()
+		if t == nil {
+			t = e.acquire(w)
+			if t == nil {
+				return
+			}
+		}
+		e.runTask(d, pool, dq, t)
+	}
+}
+
+// runTask explores one frontier entry: one execution plus the publication
+// of the sibling branches it discovered.
+func (e *wsEngine) runTask(d *dfsChooser, pool *execPool, dq *wsDeque, t *wsTask) {
+	if e.stop.Load() || !e.b.tryStart() {
+		// Budget exhausted or stop requested: leave the cell pending (the
+		// checkpoint will carry it) and fold nothing.
+		e.requestStop()
+		e.taskDone()
+		return
+	}
+	busyStart := time.Now()
+	prefix := t.path()
+	d.resetTo(prefix)
+	local := &Result{}
+	d.stats = &local.Stats
+	scratch := e.scratchFor(t.rootBranch())
+	failed := runOne(e.c, local, d, e.root, scratch, pool)
+	subs := spawnSubtasks(t, d.decisions, len(prefix))
+	e.fold.complete(t, local, subs)
+	e.unfinished.Add(int64(len(subs)))
+	// Push in reverse fold order so the owner's next popBottom is the
+	// deepest fresh node's next branch — sequential DFS's next leaf —
+	// while thieves steal the shallowest from the top.
+	for i := len(subs) - 1; i >= 0; i-- {
+		dq.push(subs[i])
+	}
+	if len(subs) > 0 {
+		e.notifyWork()
+	}
+	e.busy.Add(int64(time.Since(busyStart)))
+	if failed && e.c.StopAtFirst {
+		e.b.cancel()
+		e.requestStop()
+	}
+	e.taskDone()
+}
+
+// spawnSubtasks builds the frontier entries for the sibling branches of
+// every decision node freshly opened by the execution (decisions beyond
+// prefixLen), in fold order: deepest node first, branches ascending —
+// the order sequential DFS visits them after this leaf.
+func spawnSubtasks(t *wsTask, decisions []decision, prefixLen int) []*wsTask {
+	fresh := decisions[prefixLen:]
+	if len(fresh) == 0 {
+		return nil
+	}
+	// Materialize the fresh chain (every fresh node was taken at branch
+	// 0); siblings share the parent pointer and the cands slice.
+	chain := make([]*fnode, len(fresh))
+	parent := t.node
+	for i := range fresh {
+		nd := &fresh[i]
+		fn := &fnode{parent: parent, depth: prefixLen + i, kind: nd.kind, n: nd.n, branch: nd.chosen}
+		if nd.kind == 's' {
+			fn.cands = append([]int(nil), nd.cands...)
+		}
+		chain[i] = fn
+		parent = fn
+	}
+	var subs []*wsTask
+	for i := len(chain) - 1; i >= 0; i-- {
+		fn := chain[i]
+		for b := fn.branch + 1; b < fn.branchCount(); b++ {
+			sib := &fnode{parent: fn.parent, depth: fn.depth, kind: fn.kind, n: fn.n, cands: fn.cands, branch: b}
+			subs = append(subs, &wsTask{node: sib})
+		}
+	}
+	return subs
+}
+
+// scratchFor returns the shard scratch for a root branch, invoking
+// Config.NewScratch exactly once per branch. Multiple workers may explore
+// one branch concurrently, so the scratch value must tolerate concurrent
+// use (see Config.NewScratch).
+func (e *wsEngine) scratchFor(branch int) any {
+	if e.c.NewScratch == nil {
+		return nil
+	}
+	e.scratchMu.Lock()
+	defer e.scratchMu.Unlock()
+	s, ok := e.scratches[branch]
+	if !ok {
+		s = e.c.NewScratch()
+		e.scratches[branch] = s
+	}
+	return s
+}
+
+// acquire sweeps the other deques for a steal, parking between sweeps.
+// Returns nil when the exploration is over (done or stopped).
+func (e *wsEngine) acquire(w int) *wsTask {
+	for {
+		e.lot.mu.Lock()
+		v := e.lot.version
+		done := e.lot.done
+		e.lot.mu.Unlock()
+		if done || e.stop.Load() {
+			return nil
+		}
+		if t := e.sweep(w); t != nil {
+			return t
+		}
+		e.lot.mu.Lock()
+		if e.lot.done || e.stop.Load() {
+			e.lot.mu.Unlock()
+			return nil
+		}
+		if e.lot.version == v {
+			// No publish since the sweep started: safe to sleep.
+			e.lot.cond.Wait()
+		}
+		e.lot.mu.Unlock()
+	}
+}
+
+// sweep tries to steal once from every other worker's deque.
+func (e *wsEngine) sweep(w int) *wsTask {
+	n := len(e.deques)
+	for i := 1; i < n; i++ {
+		v := (w + i) % n
+		if t := e.deques[v].steal(); t != nil {
+			e.steals.Add(1)
+			return t
+		}
+	}
+	return nil
+}
+
+// notifyWork wakes parked workers after a publish.
+func (e *wsEngine) notifyWork() {
+	e.lot.mu.Lock()
+	e.lot.version++
+	e.lot.cond.Broadcast()
+	e.lot.mu.Unlock()
+}
+
+// requestStop asks every worker to halt after its current execution.
+func (e *wsEngine) requestStop() {
+	e.stop.Store(true)
+	e.lot.mu.Lock()
+	e.lot.version++
+	e.lot.cond.Broadcast()
+	e.lot.mu.Unlock()
+}
+
+// taskDone retires one task; the last retirement ends the run.
+func (e *wsEngine) taskDone() {
+	if e.unfinished.Add(-1) == 0 {
+		e.lot.mu.Lock()
+		e.lot.done = true
+		e.lot.cond.Broadcast()
+		e.lot.mu.Unlock()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"repro/internal/checker"
 )
@@ -17,17 +18,24 @@ import (
 // canonical fingerprint of the execution's spec-relevant content and
 // answers repeated equivalent behaviors with one map lookup.
 //
-// One checkCache serves one exploration shard (checker.Config.NewScratch)
-// and is only ever touched by that shard's goroutine. Shards coincide
-// between sequential and parallel DFS (one per root-decision branch), so
-// the hit/miss/entry counters — merged in branch order — stay
-// bit-identical between exhaustive sequential and parallel runs.
+// One checkCache serves one exploration shard (checker.Config.NewScratch).
+// Shards coincide between sequential and parallel DFS (one per
+// root-decision branch), which keeps the hit/miss/entry counters
+// bit-identical between exhaustive sequential and parallel runs: under
+// the work-stealing engine several workers may explore one shard
+// concurrently, but for a fixed set of executions through one cache the
+// misses are exactly the distinct fingerprints and the hits the rest —
+// totals independent of arrival order. The cache locks internally (mu)
+// to serialize those concurrent checks.
 
 // checkCache memoizes spec-check results across the executions of one
 // exploration shard. It also owns the shard's reusable checkScratch, so
 // the miss path's allocations (ordering-relation matrices, topological-
-// sort bookkeeping) amortize across executions.
+// sort bookkeeping) amortize across executions. mu guards both: the
+// scratch is busy from buildOrder through fingerprinting and the miss
+// path's check, so the critical section spans the whole memoized check.
 type checkCache struct {
+	mu      sync.Mutex
 	entries map[string]*CheckResult
 	scratch checkScratch
 }

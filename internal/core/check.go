@@ -280,6 +280,11 @@ func (m *Monitor) checkMemo(cc *checkCache) (*CheckResult, checker.SpecReport) {
 	}
 	sc := &m.noScratch
 	if cc != nil {
+		// One shard's cache may serve several workers under the
+		// work-stealing engine; the critical section covers the shared
+		// scratch (order/fingerprint buffers) as well as the entries map.
+		cc.mu.Lock()
+		defer cc.mu.Unlock()
 		sc = &cc.scratch
 	}
 	r := buildOrderScratch(calls, sc)

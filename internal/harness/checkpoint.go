@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checker"
+)
+
+// This file wraps the checker's exploration checkpoint in an on-disk
+// envelope. The checker's Checkpoint serializes only the decision
+// frontier — it has no idea which benchmark it belongs to — so the
+// envelope pins the benchmark name and the spec-affecting switches, and
+// Read refuses to resume a checkpoint under a configuration that would
+// change the explored space (resuming a -nocache checkpoint with the
+// cache on would, for instance, break the spec_cache_* counters' bit-
+// identity guarantee).
+
+// CheckpointFileSchema identifies the on-disk envelope layout. The inner
+// state carries the checker's own schema (checker.CheckpointSchema) and
+// is validated separately.
+const CheckpointFileSchema = "cdsspec-checkpoint-file/v1"
+
+// ResumeComparableStats normalizes a Stats record for comparison across
+// a checkpoint/resume boundary: timings and scheduler telemetry are
+// dropped (WithoutTimings), and the spec-cache hit/miss split is folded
+// into SpecCacheHits as the hits+misses total. The split itself is not
+// resume-stable — checkpoints carry the decision frontier but not the
+// in-memory memoization caches, so a resumed run re-misses fingerprints
+// it saw before the cut — but the total equals the feasible executions
+// that reached the checker and must match exactly. Entries (distinct
+// fingerprints, also cache-lifetime-dependent) are dropped.
+func ResumeComparableStats(s checker.Stats) checker.Stats {
+	s = s.WithoutTimings()
+	s.SpecCacheHits += s.SpecCacheMisses
+	s.SpecCacheMisses = 0
+	s.SpecCacheEntries = 0
+	return s
+}
+
+// CheckpointFile is the on-disk form of a suspended exploration.
+type CheckpointFile struct {
+	Schema string `json:"schema"`
+	// Benchmark names the Figure 7 row the checkpoint belongs to; resume
+	// rebuilds the program from the registry rather than trusting the
+	// file.
+	Benchmark string `json:"benchmark"`
+	// Workers records the parallelism of the run that wrote the file —
+	// informational only, a resume may use any worker count and still
+	// produce the identical Result.
+	Workers int `json:"workers,omitempty"`
+	// NoCache / NoKernelOpts record the spec-cache and kernel-opt
+	// switches. They don't change the explored space's Results, but
+	// NoCache changes the spec_cache_* counters, so a resume must match.
+	NoCache      bool `json:"nocache,omitempty"`
+	NoKernelOpts bool `json:"nokernelopts,omitempty"`
+	// State is the checker's frontier snapshot.
+	State *checker.Checkpoint `json:"state"`
+}
+
+// WriteCheckpointFile atomically writes the envelope to path: the blob
+// lands in a same-directory temp file first and is renamed over the
+// target, so a SIGKILL mid-write leaves the previous checkpoint intact
+// rather than a truncated JSON document.
+func WriteCheckpointFile(path string, cf *CheckpointFile) error {
+	blob, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".cdsspec-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("creating checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("closing checkpoint temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile reads and fully validates a checkpoint envelope:
+// the envelope schema, the presence and internal consistency of the
+// inner state, and that the benchmark still exists in the registry.
+func ReadCheckpointFile(path string) (*CheckpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint: %w", err)
+	}
+	var cf CheckpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("decoding checkpoint %s: %w", path, err)
+	}
+	if cf.Schema != CheckpointFileSchema {
+		return nil, fmt.Errorf("%s: unsupported checkpoint schema %q (want %q)",
+			path, cf.Schema, CheckpointFileSchema)
+	}
+	if cf.State == nil {
+		return nil, fmt.Errorf("%s: checkpoint has no exploration state", path)
+	}
+	if err := cf.State.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if BenchmarkByName(cf.Benchmark) == nil {
+		return nil, fmt.Errorf("%s: unknown benchmark %q", path, cf.Benchmark)
+	}
+	return &cf, nil
+}

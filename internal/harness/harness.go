@@ -27,6 +27,12 @@ import (
 type Options struct {
 	// Workers bounds the worker pool. 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Parallelism sets checker.Config.Parallelism for every exploration
+	// the harness runs: 0 or 1 explores sequentially, >1 runs the
+	// work-stealing engine with that many workers. Orthogonal to Workers,
+	// which parallelizes across independent work items (Figure 8 trials,
+	// Figure 7 rows) rather than within one exploration.
+	Parallelism int
 	// Progress, when set, receives periodic exploration snapshots labeled
 	// with the benchmark name (the cdsspec -progress flag feeds on it).
 	// Rows may explore concurrently, so the callback must be safe for
@@ -111,7 +117,7 @@ func (o Options) workerCount() int {
 // wiring the name-labeled progress callback when requested. The cdsspec
 // CLI uses it for one-off explorations that bypass the Run* helpers.
 func (o Options) ExplorerConfig(name string) checker.Config {
-	cfg := checker.Config{ProgressInterval: o.ProgressInterval}
+	cfg := checker.Config{ProgressInterval: o.ProgressInterval, Parallelism: o.Parallelism}
 	if o.Progress != nil {
 		cfg.Progress = func(p checker.Progress) { o.Progress(name, p) }
 	}

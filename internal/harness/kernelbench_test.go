@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadKernelSnapshotBackCompat: v2 round-trips, v1 blobs (no ws
+// columns) still load with the ws fields zero, unknown schemas are
+// rejected.
+func TestReadKernelSnapshotBackCompat(t *testing.T) {
+	rows := []KernelRow{{
+		Name: "M&S Queue", Executions: 1957, Feasible: 1407,
+		OptTime: 25 * time.Millisecond, BaseTime: 50 * time.Millisecond,
+		Identical: true,
+		WsTime:    12 * time.Millisecond, WsWorkers: 8,
+		WsBusy: 90 * time.Millisecond, WsSteals: 80, WsIdentical: true,
+	}}
+	blob, err := KernelSnapshotJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadKernelSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != KernelSnapshotSchema || len(s.Rows) != 1 || s.Rows[0].WsSteals != 80 {
+		t.Errorf("v2 round trip mangled the snapshot: %+v", s)
+	}
+
+	v1 := `{"schema":"` + KernelSnapshotSchemaV1 + `","kernel":[{"name":"RCU","executions":79,"identical":true}]}`
+	s, err = ReadKernelSnapshot([]byte(v1))
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if s.Rows[0].WsWorkers != 0 {
+		t.Errorf("v1 row grew ws columns: %+v", s.Rows[0])
+	}
+	// A v1 row (no ws leg) renders the ws columns as n/a.
+	if out := FormatKernelBench(s.Rows); !strings.Contains(out, "n/a") {
+		t.Errorf("v1 row should render ws columns as n/a:\n%s", out)
+	}
+
+	if _, err := ReadKernelSnapshot([]byte(`{"schema":"cdsspec-kernelbench/v9"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+// TestKernelRowWsMetrics: the derived work-stealing metrics.
+func TestKernelRowWsMetrics(t *testing.T) {
+	r := KernelRow{
+		OptTime: 100 * time.Millisecond,
+		WsTime:  25 * time.Millisecond, WsWorkers: 8,
+		WsBusy: 160 * time.Millisecond,
+	}
+	if got := r.WsSpeedupX(); got != 4.0 {
+		t.Errorf("WsSpeedupX() = %v, want 4.0", got)
+	}
+	if got := r.WsBusyPct(); got != 80.0 {
+		t.Errorf("WsBusyPct() = %v, want 80.0", got)
+	}
+	var zero KernelRow
+	if zero.WsSpeedupX() != 0 || zero.WsBusyPct() != 0 {
+		t.Error("zero row must report zero ws metrics, not NaN/Inf")
+	}
+}
