@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/harness"
+)
+
+// fastRunCmd screens one benchmark's primary unit test in fast mode:
+// randomized plausible executions with bounded store buffers, no
+// decision tree, no CDSSpec layer — built-in checks only (races,
+// uninitialized loads, deadlocks, livelocks). The run budget is -max
+// (default 1000), the wall-clock budget -time, and -seed makes the whole
+// run deterministic: same seed, same failures, at any -par.
+func (c *cli) fastRunCmd(name string) int {
+	b := harness.BenchmarkByName(name)
+	if b == nil {
+		return unknownBenchmark(c.stderr, name)
+	}
+	cfg := checker.Config{
+		FastMode:      true,
+		Seed:          int64(c.seed),
+		MaxExecutions: c.maxExecs,
+		TimeBudget:    c.timeBudget,
+		Parallelism:   c.parallelism(),
+	}
+	intr, cleanup := interruptOnSignal()
+	defer cleanup()
+	cfg.Interrupt = intr
+	res := checker.Explore(cfg, b.Progs(b.Orders())[0])
+	code := c.printExploreResult(b.Name, res)
+	if !c.jsonOut {
+		fmt.Fprintf(c.stdout, "  fast mode: %.0f runs/sec, %d store-buffer evictions\n",
+			res.Stats.RunsPerSec, res.Stats.StoreBufferEvictions)
+	}
+	if res.FailureCount > 0 {
+		return 1
+	}
+	return code
+}
+
+// fastBenchCmd runs the fast-mode gate: every paper benchmark at unit
+// scale (must stay clean), the builtin-detectable §6.4.1 seeded bugs
+// (must be caught), and a 10⁵-operation MPMC workload exhaustive mode
+// cannot touch (must stay feasible under bounded store buffers). With
+// -json it emits the BENCH_fastmode.json snapshot CI archives next to
+// the kernel-bench artifact. Non-zero exit when any row fails its gate.
+func (c *cli) fastBenchCmd() int {
+	rows := harness.RunFastBench(harness.FastBenchConfig{Seed: int64(c.seed)})
+	if c.jsonOut {
+		blob, err := harness.FastSnapshotJSON(rows)
+		if err != nil {
+			fmt.Fprintf(c.stderr, "encoding snapshot: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(c.stdout, string(blob))
+	} else {
+		fmt.Fprint(c.stdout, harness.FormatFastBench(rows))
+	}
+	for i := range rows {
+		if !rows[i].Pass() {
+			fmt.Fprintf(c.stderr, "fastbench: row %q (%s) failed its gate\n", rows[i].Name, rows[i].RowKind)
+			return 1
+		}
+	}
+	return 0
+}

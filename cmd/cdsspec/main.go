@@ -9,6 +9,8 @@
 //	cdsspec run <benchmark>      explore one benchmark's unit test
 //	cdsspec explore <benchmark>  parallel exploration with checkpointing
 //	cdsspec resume <file>        resume a checkpointed exploration
+//	cdsspec fastrun <benchmark>  fast-mode screen (random plausible executions)
+//	cdsspec fastbench [-json]    fast-mode gate + BENCH_fastmode.json snapshot
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
 //	cdsspec json <benchmark>     print one execution + stats as JSON
 //	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (any schema)
@@ -27,8 +29,10 @@
 // -max, -checkpoint, -checkpoint-every and -verify (see their help
 // text); a SIGINT stops them gracefully and writes a final checkpoint.
 // The fuzz and shrink subcommands add -seed, -count, -budget, -corpus,
-// -weaken and -index. Subcommand flags go between the subcommand and
-// its positional arguments: cdsspec run -progress "M&S Queue".
+// -weaken and -index. The fastrun subcommand adds -seed, -max (run
+// budget), -time (wall-clock budget) and -par; fastbench adds -seed and
+// -json. Subcommand flags go between the subcommand and its positional
+// arguments: cdsspec run -progress "M&S Queue".
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"repro/internal/checker"
@@ -76,6 +81,9 @@ type cli struct {
 	weaken     string
 	index      int
 	verbose    bool
+
+	// fastrun flags.
+	timeBudget time.Duration
 }
 
 // parallelism resolves the exploration worker count for explore/resume:
@@ -158,6 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.StringVar(&c.checkpointPath, "checkpoint", "", "explore/resume: write the exploration checkpoint to this file")
 	sub.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "explore/resume: also checkpoint periodically at this interval")
 	sub.BoolVar(&c.verify, "verify", false, "resume: re-explore sequentially from scratch and require a bit-identical result")
+	sub.DurationVar(&c.timeBudget, "time", 0, "fastrun: wall-clock budget for the screen (0 = run budget only)")
 	if err := sub.Parse(rest[1:]); err != nil {
 		return 2
 	}
@@ -236,6 +245,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return c.jsonOne(pos[0])
 	case "kernelbench":
 		return c.kernelBench()
+	case "fastrun":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec fastrun [-seed N] [-max N] [-time dur] [-par N] [-json] <benchmark>")
+			return 2
+		}
+		return c.fastRunCmd(pos[0])
+	case "fastbench":
+		return c.fastBenchCmd()
 	case "benchdiff":
 		if len(pos) < 2 {
 			fmt.Fprintln(stderr, "usage: cdsspec benchdiff <old.json> <new.json>")
@@ -264,9 +281,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-cpuprofile file] [-memprofile file]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-cpuprofile file] [-memprofile file]")
 	fmt.Fprintln(w, "  explore/resume flags: -par N -max N -checkpoint file -checkpoint-every dur -verify")
 	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
+	fmt.Fprintln(w, "  fastrun flags: -seed N -max N -time dur -par N; fastbench flags: -seed N -json")
 }
 
 // benchDiff compares two benchmark snapshot files (schema v1 or v2) and
@@ -451,16 +469,50 @@ func (c *cli) jsonOne(name string) int {
 // checkpoint; a second SIGINT kills the process the usual way because
 // the handler is removed after the first.
 func interruptOnSignal() (<-chan struct{}, func()) {
-	intr := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
+	return interruptFrom(sig, func() { signal.Stop(sig) })
+}
+
+// interruptFrom wires an already-registered signal channel to an
+// interrupt channel; stop unregisters it. Split from interruptOnSignal
+// so tests can drive sig directly instead of raising real signals.
+//
+// Teardown uses a dedicated done channel instead of closing sig: the old
+// `signal.Stop(sig); close(sig)` cleanup both let the parked receiver
+// observe a zero-value receive and — worse — left a signal delivered
+// just before Stop sitting in sig's buffer, where the receiver could
+// still drain it (ok=true) after the run had completed and close the
+// interrupt channel retroactively, making a finished explore run look
+// interrupted. Now cleanup flips `finished` under the mutex before
+// waking the receiver, so once cleanup returns, intr is guaranteed never
+// to close — no matter what is buffered in sig.
+func interruptFrom(sig chan os.Signal, stop func()) (<-chan struct{}, func()) {
+	intr := make(chan struct{})
+	done := make(chan struct{})
+	var mu sync.Mutex
+	finished := false
 	go func() {
-		if _, ok := <-sig; ok {
-			signal.Stop(sig)
+		select {
+		case <-done:
+			return
+		case <-sig:
+		}
+		stop()
+		mu.Lock()
+		defer mu.Unlock()
+		if !finished {
 			close(intr)
 		}
 	}()
-	return intr, func() { signal.Stop(sig); close(sig) }
+	cleanup := func() {
+		mu.Lock()
+		finished = true
+		mu.Unlock()
+		stop()
+		close(done)
+	}
+	return intr, cleanup
 }
 
 // checkpointWriter builds the Config.Checkpoint hook: every snapshot

@@ -53,9 +53,48 @@ type Config struct {
 	// RandomWalk, when positive, replaces exhaustive DFS with that many
 	// independent random executions (decisions drawn from Seed). Useful
 	// for state spaces too large to exhaust.
+	//
+	// Engine-routing precedence (explicit; each mode ignores the knobs of
+	// the ones below it):
+	//
+	//	1. FastMode       — single-pass plausible executions, O(live state)
+	//	2. RandomWalk > 0 — uniform random walks with full bookkeeping
+	//	3. Parallelism > 1 or checkpoint/resume/interrupt configured
+	//	                  — work-stealing DFS engine
+	//	4. otherwise      — sequential DFS
+	//
+	// FastMode and RandomWalk honor Parallelism by sharding their run
+	// budget over contiguous index blocks with per-run derived seeds, so
+	// their Result and Stats are bit-identical at any Parallelism (timings
+	// aside). Checkpoint/ResumeFrom apply only to DFS; Interrupt is
+	// honored by every mode.
 	RandomWalk int
-	// Seed seeds RandomWalk.
+	// Seed seeds RandomWalk and FastMode. Each run's decision stream is
+	// derived from (Seed, run index), so results do not depend on how runs
+	// are scheduled across workers.
 	Seed int64
+	// FastMode replaces exploration with C11Tester-style plausible-
+	// execution sampling: each run picks one random schedule and one
+	// plausible reads-from assignment, biased toward recent stores, with
+	// clock-vector race detection for plain and atomic accesses — in O(live
+	// state) memory (no action trace, per-location store buffers bounded by
+	// StoreBound). Built-in checks (races, mixed races, uninitialized
+	// loads, deadlocks) still fire; the CDSSpec layer is unsupported
+	// (core.Explore rejects the combination). MaxExecutions is the run
+	// budget (default 1000 when 0); Exhausted is never set — sampling
+	// proves presence, not absence.
+	FastMode bool
+	// TimeBudget, when positive, stops a FastMode run loop after the
+	// elapsed wall clock exceeds it (checked between runs). With
+	// Parallelism > 1 the cut point is nondeterministic, unlike the
+	// run-budget path.
+	TimeBudget time.Duration
+	// StoreBound bounds each location's retained store-buffer window in
+	// FastMode (default 64, minimum 2). When a buffer overflows, the older
+	// half is evicted: evicted stores are treated as happened-before
+	// everything and can no longer be read stale — the plausibility
+	// approximation that keeps memory constant.
+	StoreBound int
 	// DisableStaleReads, when set, forces every atomic load to read the
 	// mo-latest store — i.e. explores only sequentially-consistent
 	// executions. Used by the ablation benchmarks.
@@ -182,6 +221,12 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.compactThreshold == 0 {
 		out.compactThreshold = 64
+	}
+	if out.StoreBound == 0 {
+		out.StoreBound = 64
+	}
+	if out.StoreBound < 2 {
+		out.StoreBound = 2 // the newest store must survive eviction
 	}
 	return &out
 }
@@ -594,6 +639,7 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any,
 	sys := runExecution(c, ch, root, res.Executions, scratch, pool)
 	res.Stats.ExploreTime += time.Since(exploreStart)
 	res.Stats.TotalSteps += sys.stepCount
+	res.Stats.StoreBufferEvictions += sys.evictions
 
 	failed := false
 	failures := 0
@@ -678,27 +724,21 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 		c.progress = newProgressTracker(c.Progress, c.ProgressInterval, c.MaxExecutions)
 		defer c.progress.close()
 	}
-	if c.Parallelism > 1 || (c.RandomWalk == 0 && c.wantsEngine()) {
+	// Engine routing — the precedence documented on Config.RandomWalk:
+	// FastMode > RandomWalk > work-stealing engine > sequential DFS.
+	// (Before this was pinned, RandomWalk > 0 with Parallelism > 1
+	// silently routed into the parallel DFS branch's walk shards.)
+	switch {
+	case c.FastMode:
+		return exploreFast(c, root)
+	case c.RandomWalk > 0:
+		return exploreRandomWalk(c, root)
+	case c.Parallelism > 1 || c.wantsEngine():
 		return exploreParallel(c, root)
 	}
 	res := &Result{}
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
-
-	if c.RandomWalk > 0 {
-		rng := rand.New(rand.NewSource(c.Seed))
-		walks := c.randomWalkBudget()
-		ch := &randChooser{rng: rng, disableRF: c.DisableStaleReads, stats: &res.Stats}
-		scratch := c.newScratch() // a sequential walk is one shard
-		pool := newExecPool(c)
-		for i := 0; i < walks; i++ {
-			failed := runOne(c, res, ch, root, scratch, pool)
-			if failed && c.StopAtFirst {
-				return res
-			}
-		}
-		return res
-	}
 
 	d := newDFSChooser(c)
 	d.stats = &res.Stats

@@ -33,6 +33,12 @@ const (
 	// FailAPIMisuse is an incorrect use of the checker API itself
 	// (unlocking a mutex the thread does not hold, etc.).
 	FailAPIMisuse
+	// FailMixedRace is a race between an atomic access and a non-atomic
+	// access to the same atomic location (Atomic.RawLoad/RawStore) — the
+	// C11Tester-style mixed-access check, a built-in like FailDataRace.
+	// Appended after FailAPIMisuse so persisted numeric kinds (if any)
+	// keep their values.
+	FailMixedRace
 
 	// numFailureKinds counts the kinds above. Keep it last: the
 	// exhaustiveness tests iterate 0..numFailureKinds-1 to catch a new
@@ -72,6 +78,8 @@ func (k FailureKind) String() string {
 		return "admissibility"
 	case FailAPIMisuse:
 		return "api-misuse"
+	case FailMixedRace:
+		return "mixed-race"
 	default:
 		return fmt.Sprintf("FailureKind(%d)", uint8(k))
 	}
@@ -82,7 +90,7 @@ func (k FailureKind) String() string {
 // paper's Figure 8 classifies injected-bug detections by this distinction.
 func (k FailureKind) BuiltIn() bool {
 	switch k {
-	case FailDataRace, FailUninitLoad, FailDeadlock, FailLivelock:
+	case FailDataRace, FailUninitLoad, FailDeadlock, FailLivelock, FailMixedRace:
 		return true
 	}
 	return false

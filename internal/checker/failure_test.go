@@ -26,6 +26,7 @@ func TestFailureKindExhaustive(t *testing.T) {
 		{FailAssertion, "assertion", false, "assertion"},
 		{FailAdmissibility, "admissibility", false, "admissibility"},
 		{FailAPIMisuse, "api-misuse", false, "assertion"},
+		{FailMixedRace, "mixed-race", true, "builtin"},
 	}
 	if len(table) != int(numFailureKinds) {
 		t.Fatalf("table covers %d kinds but numFailureKinds = %d: a new kind needs a String/BuiltIn/Channel entry here",

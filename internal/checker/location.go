@@ -64,8 +64,19 @@ type location struct {
 	creatorTid  int
 	creatorTSeq uint32
 
-	// stores is the modification order (the order stores executed).
+	// stores holds the tail of the modification order starting at
+	// absolute mo index moBase: stores[i] is mo index moBase+i. Exhaustive
+	// exploration never evicts, so moBase stays 0 and stores is the whole
+	// modification order; fast mode bounds the window (Config.StoreBound)
+	// and evicts the oldest half when it overflows, keeping memory O(live
+	// state) on programs with millions of stores.
 	stores []storeRec
+	// moBase is the absolute mo index of stores[0] (0 unless fast mode
+	// evicted a prefix).
+	moBase int
+	// evictedVal is the value of the newest evicted store — what a plain
+	// load whose visibility floor fell below the window reads.
+	evictedVal memmodel.Value
 	// loads is every load of this location still relevant for read-read
 	// coherence; compactLoads discards entries provably dominated for
 	// every possible future reader.
@@ -85,10 +96,42 @@ type location struct {
 
 	// floorCache[tid] memoizes visibleFloor per thread.
 	floorCache []floorEntry
+
+	// Per-thread latest-access vectors for exact O(threads) race checks
+	// (C11Tester-style): readSeq[tid]/writeSeq[tid] is the tseq of thread
+	// tid's newest read/write of this location, 0 if none (real accesses
+	// always have tseq >= 1 — threadMain burns tseq 1 on ThreadStart).
+	// Covering a thread's latest access implies covering all its earlier
+	// ones, so one vector entry per thread suffices. Maintained in every
+	// mode; fast mode uses them as its only race detector.
+	readSeq  []uint32
+	writeSeq []uint32
+	// rawReadSeq/rawWriteSeq track *non-atomic* accesses to an atomic
+	// location (Atomic.RawLoad/RawStore). Allocated lazily — nil until
+	// the first raw access — so the mixed-access race checks cost nothing
+	// for programs that never mix.
+	rawReadSeq  []uint32
+	rawWriteSeq []uint32
 }
 
-// lastStoreIdx returns the mo index of the newest store, or -1.
-func (l *location) lastStoreIdx() int { return len(l.stores) - 1 }
+// moNext returns the absolute mo index the next store will get (one past
+// the newest store), i.e. the store count over the location's lifetime.
+func (l *location) moNext() int { return l.moBase + len(l.stores) }
+
+// store returns the record at absolute mo index mo, which must be inside
+// the retained window [moBase, moNext).
+func (l *location) store(mo int) *storeRec { return &l.stores[mo-l.moBase] }
+
+// setSeq grows v to cover tid and records seq as its latest access.
+func setSeq(v *[]uint32, tid int, seq uint32) {
+	for len(*v) <= tid {
+		*v = append(*v, 0)
+	}
+	(*v)[tid] = seq
+}
+
+// lastStoreIdx returns the absolute mo index of the newest store, or -1.
+func (l *location) lastStoreIdx() int { return l.moNext() - 1 }
 
 // lastStoreByThread returns the mo index of the newest store by tid, or
 // -1 when the thread has not stored to the location.
@@ -122,6 +165,8 @@ func (l *location) cacheFor(tid int) *floorEntry {
 // creator) afterwards.
 func (l *location) reset() {
 	l.stores = l.stores[:0]
+	l.moBase = 0
+	l.evictedVal = 0
 	l.loads = l.loads[:0]
 	l.maxLoadRF = -1
 	l.nextCompact = 0
@@ -130,6 +175,10 @@ func (l *location) reset() {
 	for i := range l.floorCache {
 		l.floorCache[i].valid = false
 	}
+	l.readSeq = l.readSeq[:0]
+	l.writeSeq = l.writeSeq[:0]
+	l.rawReadSeq = nil
+	l.rawWriteSeq = nil
 }
 
 // Atomic is a simulated C/C++11 atomic location. All accesses must go

@@ -47,6 +47,24 @@ func (a *Atomic) CAS(t *Thread, expected, desired memmodel.Value, succOrd, failO
 	return t.sys.doCAS(t, a.loc, expected, desired, succOrd, failOrd)
 }
 
+// RawLoad performs a *non-atomic* load of an atomic location — the mixed
+// atomic/non-atomic access pattern C11Tester's race detector targets
+// (e.g. reading a counter outside its critical section). It conflicts
+// with every concurrent write by another thread, atomic or not; such a
+// pair is reported as a FailMixedRace. Like Plain accesses it is not a
+// scheduling point.
+func (a *Atomic) RawLoad(t *Thread) memmodel.Value {
+	return t.sys.doRawLoad(t, a.loc)
+}
+
+// RawStore performs a *non-atomic* store to an atomic location. It
+// conflicts with every concurrent access by another thread (atomic or
+// not, read or write); the value joins the modification order so later
+// atomic loads observe it.
+func (a *Atomic) RawStore(t *Thread, v memmodel.Value) {
+	t.sys.doRawStore(t, a.loc, v)
+}
+
 // Fence issues a stand-alone memory fence with the given order on behalf
 // of the calling thread.
 func Fence(t *Thread, ord memmodel.MemOrder) {
@@ -137,6 +155,9 @@ func (m *Mutex) Unlock(t *Thread) {
 	t.sys.stepCount++
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
+	if t.sys.cfg.FastMode && m.clock != nil {
+		t.sys.freeClock(m.clock) // fast-mode snapshots are owned copies
+	}
 	m.clock = t.sys.snap(t.clock)
 	m.owner = -1
 	t.sys.storeEpoch++ // an unlock can unblock spinners and lock-waiters

@@ -21,16 +21,13 @@ import (
 // which worker explored which subtree. The same engine serves
 // checkpoint/resume at any parallelism (checkpoint.go).
 
-// exploreParallel is Explore for Parallelism > 1 (and for any DFS run
-// with checkpoint/resume/interrupt plumbing). c has defaults applied.
+// exploreParallel is Explore for parallel DFS (Parallelism > 1, and any
+// DFS run with checkpoint/resume/interrupt plumbing). c has defaults
+// applied; RandomWalk and FastMode route through their own engines
+// before this one (see the precedence on Config.RandomWalk).
 func exploreParallel(c *Config, root func(*Thread)) *Result {
 	start := time.Now()
-	var res *Result
-	if c.RandomWalk > 0 {
-		res = parallelRandomWalk(c, root)
-	} else {
-		res = exploreWorkSteal(c, root)
-	}
+	res := exploreWorkSteal(c, root)
 	// Elapsed is the run's wall clock (plus, for resumed runs, the base
 	// the engine restored from the checkpoint — the only reason this adds
 	// instead of assigning). The merge deliberately never folds per-worker
@@ -135,45 +132,83 @@ func mergeInto(res *Result, locals []*Result, maxFailures int) {
 	}
 }
 
-// parallelRandomWalk shards the walk budget across Parallelism workers,
-// each drawing from an independent seed derived from Seed.
-func parallelRandomWalk(c *Config, root func(*Thread)) *Result {
+// exploreRandomWalk runs the RandomWalk engine at any Parallelism. Each
+// walk index draws its decisions from an independent seed derived from
+// (Seed, index), and workers own contiguous index blocks merged in block
+// order — so walk i behaves identically no matter which worker runs it,
+// and the Result (Executions, Failures, every non-timing Stat) is
+// bit-identical across Parallelism 1/4/16 for a fixed budget. (The old
+// per-worker seeding made results depend on the worker count, and
+// RandomWalk with Parallelism > 1 silently fell into the DFS branch.)
+//
+// Each walk is its own exploration shard (fresh Scratch): spec-check
+// caching never carries over between walks, trading cross-walk cache
+// reuse for seed stability — cache counters are a deterministic function
+// of the walk set alone. StopAtFirst and Interrupt cut the walk sequence
+// nondeterministically when Parallelism > 1.
+func exploreRandomWalk(c *Config, root func(*Thread)) *Result {
 	res := &Result{}
+	start := time.Now()
+	defer func() { res.Elapsed += time.Since(start) }()
 	total := c.randomWalkBudget()
 	if total <= 0 {
 		return res
 	}
 	workers := c.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > total {
 		workers = total
 	}
+	if workers == 1 {
+		walkBlock(c, res, root, 0, total, nil)
+		return res
+	}
 	b := newBounds(0, 0)
 	defer b.cancel()
+	starts := make([]int, workers+1)
+	for w := 0; w < workers; w++ {
+		n := total / workers
+		if w < total%workers {
+			n++
+		}
+		starts[w+1] = starts[w] + n
+	}
 	locals := make([]*Result, workers)
 	runPool(workers, workers, func(w int) {
-		count := total / workers
-		if w < total%workers {
-			count++
-		}
-		// A fixed odd multiplier (Weyl/Knuth constant) spreads the
-		// per-worker seeds far apart even for adjacent base seeds.
-		seed := int64(uint64(c.Seed) + uint64(w+1)*0x9E3779B97F4A7C15)
 		local := &Result{}
-		ch := &randChooser{rng: rand.New(rand.NewSource(seed)), disableRF: c.DisableStaleReads, stats: &local.Stats}
 		locals[w] = local
-		scratch := c.newScratch() // each walk worker is one shard
-		pool := newExecPool(c)
-		for i := 0; i < count; i++ {
-			if b.stopped() {
-				return
-			}
-			failed := runOne(c, local, ch, root, scratch, pool)
-			if failed && c.StopAtFirst {
-				b.cancel()
-				return
-			}
-		}
+		walkBlock(c, local, root, starts[w], starts[w+1], b)
 	})
 	mergeInto(res, locals, c.MaxFailures)
 	return res
+}
+
+// walkBlock runs walk indices [from, to) into res, reseeding the chooser
+// per index. b (nil when sequential) carries StopAtFirst cancellation.
+func walkBlock(c *Config, res *Result, root func(*Thread), from, to int, b *bounds) {
+	ch := &randChooser{disableRF: c.DisableStaleReads, stats: &res.Stats}
+	pool := newExecPool(c)
+	for i := from; i < to; i++ {
+		if b != nil && b.stopped() {
+			return
+		}
+		if c.Interrupt != nil {
+			select {
+			case <-c.Interrupt:
+				return
+			default:
+			}
+		}
+		ch.rng = rand.New(rand.NewSource(int64(derivedSeed(c.Seed, i))))
+		scratch := c.newScratch() // each walk is one shard
+		failed := runOne(c, res, ch, root, scratch, pool)
+		if failed && c.StopAtFirst {
+			if b != nil {
+				b.cancel()
+			}
+			return
+		}
+	}
 }

@@ -57,6 +57,14 @@ func (p *execPool) take(cfg *Config, ch chooser, execIndex int, scratch any) *Sy
 		p.sys = &System{sleep: newSleepSet(), schedDone: make(chan struct{})}
 	}
 	s := p.sys
+	if cfg.FastMode {
+		// Return the previous run's live store-buffer actions and clocks
+		// to the free lists before the location slices are truncated —
+		// this (plus eviction during the run) is what keeps fast-mode
+		// allocation amortized-zero per run. Must happen before s.locs
+		// and s.threads are rewound below.
+		s.sweepFast()
+	}
 	// Full overwrite of the shell except the pooled containers.
 	s.cfg = cfg
 	s.chooser = ch
@@ -73,6 +81,9 @@ func (p *execPool) take(cfg *Config, ch chooser, execIndex int, scratch any) *Sy
 	s.pruneReason = pruneNone
 	s.failure = nil
 	s.mutexCount = 0
+	s.actionCount = 0
+	s.lastActID = 0
+	s.evictions = 0
 	s.specReport = SpecReport{}
 	s.sleep.clear()
 	s.Aux = nil

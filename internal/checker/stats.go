@@ -99,6 +99,19 @@ type Stats struct {
 	Steals      int           `json:"steals"`
 	MaxFrontier int           `json:"max_frontier"`
 	WorkerBusy  time.Duration `json:"worker_busy_ns"`
+
+	// Fast-mode telemetry (Config.FastMode).
+	//
+	// StoreBufferEvictions counts stores evicted from bounded per-location
+	// store buffers — the knob-visible cost of the O(live state) memory
+	// bound. It is a deterministic function of the run set (summed by
+	// Merge, kept by WithoutTimings), so the parallel bit-identity tests
+	// cover it like any other counter.
+	StoreBufferEvictions int `json:"store_buffer_evictions,omitempty"`
+	// RunsPerSec is Executions / Elapsed, computed once by exploreFast
+	// after the worker merge. Timing-class: not summed by Merge, zeroed by
+	// WithoutTimings.
+	RunsPerSec float64 `json:"runs_per_sec,omitempty"`
 }
 
 // Merge folds o into s: counters add, depths max, timings add. The
@@ -129,6 +142,7 @@ func (s *Stats) Merge(o *Stats) {
 		s.MaxFrontier = o.MaxFrontier
 	}
 	s.WorkerBusy += o.WorkerBusy
+	s.StoreBufferEvictions += o.StoreBufferEvictions
 }
 
 // WithoutTimings returns a copy with the wall-clock and scheduler-
@@ -139,5 +153,6 @@ func (s *Stats) Merge(o *Stats) {
 func (s Stats) WithoutTimings() Stats {
 	s.ExploreTime, s.SpecTime = 0, 0
 	s.Steals, s.MaxFrontier, s.WorkerBusy = 0, 0, 0
+	s.RunsPerSec = 0
 	return s
 }

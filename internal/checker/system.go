@@ -87,6 +87,21 @@ type System struct {
 	// enabledBuf backs enabledThreads, reused across scheduling steps.
 	enabledBuf []*Thread
 
+	// Fast-mode state (Config.FastMode). Fast mode retains no action
+	// trace: only actions alive in some store buffer are kept, recycled
+	// through freeActs/freeClks when evicted, so a run's memory is O(live
+	// state) instead of O(operations). scratchAct backs every non-retained
+	// record() so loads/fences/locks allocate nothing per step.
+	freeActs   []*memmodel.Action
+	freeClks   []*memmodel.ClockVector
+	scratchAct memmodel.Action
+	// actionCount numbers actions in fast mode (the trace that would have
+	// been); lastActID is the most recent ID for failure reports.
+	actionCount int
+	lastActID   int
+	// evictions counts store-buffer evictions (Stats.StoreBufferEvictions).
+	evictions int
+
 	// Spec-checking statistics reported by the core layer through
 	// ReportSpecStats; runOne folds them into Result.Stats.
 	specReport SpecReport
@@ -182,6 +197,9 @@ func (s *System) prune() {
 // the trace is empty (action 0 is always the root thread's thread-start,
 // never itself a failure site, so 0 doubles as "unknown").
 func (s *System) lastActionID() int {
+	if s.cfg != nil && s.cfg.FastMode {
+		return s.lastActID
+	}
 	if len(s.actions) == 0 {
 		return 0
 	}
@@ -190,6 +208,9 @@ func (s *System) lastActionID() int {
 
 // TraceString renders up to limit trailing actions of the trace.
 func (s *System) TraceString(limit int) string {
+	if s.cfg != nil && s.cfg.FastMode {
+		return "(fast mode: action trace not retained)\n"
+	}
 	acts := s.actions
 	var b strings.Builder
 	start := 0
@@ -287,6 +308,9 @@ func (s *System) checkLifetime(t *Thread, loc *location, what string) {
 // The caller must already have bumped t.tseq and applied any clock merges
 // the action performs.
 func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, loc *location, v memmodel.Value) *memmodel.Action {
+	if s.cfg.FastMode {
+		return s.recordFast(t, kind, ord, loc, v)
+	}
 	var act *memmodel.Action
 	if s.pool != nil {
 		act = s.pool.getAction()
@@ -315,11 +339,111 @@ func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, lo
 	return act
 }
 
+// recordFast is record() without trace retention: only actions that end
+// up in a store buffer (stores, RMWs) get a real allocation — from the
+// free list the evictor feeds — and everything else reuses one scratch
+// action. No per-action clock snapshot is taken: fast-mode race checks
+// use the per-location seq vectors, not action clocks.
+func (s *System) recordFast(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, loc *location, v memmodel.Value) *memmodel.Action {
+	var act *memmodel.Action
+	switch kind {
+	case memmodel.KindAtomicStore, memmodel.KindAtomicRMW, memmodel.KindPlainStore:
+		act = s.takeAction()
+	default:
+		act = &s.scratchAct
+	}
+	*act = memmodel.Action{
+		ID:      s.actionCount,
+		Thread:  t.id,
+		TSeq:    t.tseq,
+		Kind:    kind,
+		Order:   ord,
+		LocID:   -1,
+		SCIndex: -1,
+		Value:   v,
+	}
+	if loc != nil {
+		act.LocID = loc.id
+		act.LocName = loc.name
+	}
+	s.lastActID = s.actionCount
+	s.actionCount++
+	t.lastAction = act
+	return act
+}
+
+// takeAction pops a recycled action (fast mode only). The free list is
+// deliberately separate from the pool's action arena: arena slots are
+// rewound wholesale between executions, which would alias actions still
+// alive in store buffers.
+func (s *System) takeAction() *memmodel.Action {
+	if n := len(s.freeActs); n > 0 {
+		act := s.freeActs[n-1]
+		s.freeActs = s.freeActs[:n-1]
+		return act
+	}
+	return &memmodel.Action{}
+}
+
+func (s *System) freeAction(act *memmodel.Action) {
+	act.RF = nil
+	act.Clock = nil
+	s.freeActs = append(s.freeActs, act)
+}
+
+// takeClock pops a recycled clock (fast mode only); the caller overwrites
+// its contents via CopyFrom/Reset.
+func (s *System) takeClock() *memmodel.ClockVector {
+	if n := len(s.freeClks); n > 0 {
+		cv := s.freeClks[n-1]
+		s.freeClks = s.freeClks[:n-1]
+		return cv
+	}
+	return memmodel.NewClockVector()
+}
+
+func (s *System) freeClock(cv *memmodel.ClockVector) {
+	s.freeClks = append(s.freeClks, cv)
+}
+
+// sweepFast returns every action and clock still alive in a store buffer
+// to the free lists — called between pooled fast-mode runs so the next
+// run starts with warm free lists instead of allocating.
+func (s *System) sweepFast() {
+	for _, loc := range s.locs {
+		for i := range loc.stores {
+			st := &loc.stores[i]
+			if st.act != nil {
+				s.freeAction(st.act)
+			}
+			if st.sync != nil {
+				s.freeClock(st.sync)
+			}
+			st.act, st.sync = nil, nil
+		}
+	}
+	for _, t := range s.threads {
+		if t.relFence != nil {
+			s.freeClock(t.relFence)
+			t.relFence = nil
+		}
+	}
+}
+
 // snap captures the current value of cv for retention in per-execution
 // state (action clocks, release clocks, mutex clocks). Pooled executions
 // copy into a recycled arena clock; unpooled ones take a copy-on-write
 // share, so the snapshot costs one small struct instead of a deep copy.
 func (s *System) snap(cv *memmodel.ClockVector) *memmodel.ClockVector {
+	if s.cfg.FastMode {
+		// Always an owned copy from the free list, never a share and never
+		// the pool arena: fast-mode clocks are recycled individually when
+		// their store is evicted, which is unsound for shared or
+		// arena-rewound storage.
+		c := s.takeClock()
+		c.CopyFrom(cv)
+		return c
+	}
 	if s.pool != nil {
 		return s.pool.getClock(cv)
 	}
@@ -328,6 +452,11 @@ func (s *System) snap(cv *memmodel.ClockVector) *memmodel.ClockVector {
 
 // blank returns an empty clock for per-execution state.
 func (s *System) blank() *memmodel.ClockVector {
+	if s.cfg.FastMode {
+		c := s.takeClock()
+		c.Reset()
+		return c
+	}
 	if s.pool != nil {
 		return s.pool.getClock(nil)
 	}
@@ -418,13 +547,19 @@ func (s *System) noteOwnLoad(t *Thread, loc *location, idx int) {
 	}
 }
 
-// visibleFloorScan is the uncached visibility computation.
+// visibleFloorScan is the uncached visibility computation. Floors are
+// absolute modification-order indices; stores below loc.moBase were
+// evicted by fast mode and are treated as happened-before everything
+// (they initialize the floor, and their existence publishes the
+// location) — the documented plausibility approximation.
 func (s *System) visibleFloorScan(t *Thread, loc *location, scIdx int) (floor int, published bool) {
+	floor = loc.moBase
+	published = loc.moBase > 0
 	for i, st := range loc.stores {
 		if t.clock.Contains(st.act.Thread, st.act.TSeq) {
 			published = true
-			if i > floor {
-				floor = i
+			if mo := loc.moBase + i; mo > floor {
+				floor = mo
 			}
 		}
 	}
@@ -448,6 +583,33 @@ func (s *System) visibleFloorScan(t *Thread, loc *location, scIdx int) (floor in
 // addLoad appends a read-read coherence record and maintains the scan
 // bound and compaction schedule.
 func (s *System) addLoad(t *Thread, loc *location, idx int) {
+	if s.cfg.FastMode {
+		// Plain locations need no load records: fast-mode races are
+		// detected through the seq vectors. Atomic locations keep a
+		// bounded window for read-read coherence; overflow drops the
+		// oldest half, which can only lower future floors (another
+		// plausibility under-approximation, never a crash).
+		if !loc.atomic {
+			return
+		}
+		loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
+		if idx > loc.maxLoadRF {
+			loc.maxLoadRF = idx
+		}
+		if cap := 2 * s.cfg.StoreBound; len(loc.loads) > cap {
+			keep := cap / 2
+			n := copy(loc.loads, loc.loads[len(loc.loads)-keep:])
+			loc.loads = loc.loads[:n]
+			maxRF := -1
+			for _, lr := range loc.loads {
+				if lr.rfMO > maxRF {
+					maxRF = lr.rfMO
+				}
+			}
+			loc.maxLoadRF = maxRF
+		}
+		return
+	}
 	loc.loads = append(loc.loads, loadRec{tid: t.id, tseq: t.tseq, rfMO: idx})
 	if idx > loc.maxLoadRF {
 		loc.maxLoadRF = idx
@@ -486,7 +648,7 @@ func (s *System) maybeCompactLoads(loc *location) {
 		f := -1
 		for i, st := range loc.stores {
 			if t.clock.Contains(st.act.Thread, st.act.TSeq) {
-				f = i
+				f = loc.moBase + i
 			}
 		}
 		if !live || f < glb {
@@ -511,6 +673,78 @@ func (s *System) maybeCompactLoads(loc *location) {
 	// Re-arm after another threshold's worth of growth, so a location
 	// whose records are all live is not rescanned on every load.
 	loc.nextCompact = len(loc.loads) + s.cfg.compactThreshold
+}
+
+// maybeEvict bounds a location's store buffer in fast mode: when the
+// window exceeds Config.StoreBound, the older half is evicted and its
+// actions/clocks recycled. The caller appended a store (and bumped
+// storeEpoch) immediately before, so every floor-cache entry already
+// misses on its storeEpoch key — no invalidation pass is needed. Evicted
+// stores become unreachable as reads-from candidates (visibleFloorScan
+// starts the floor at moBase); the newest evicted value is kept for
+// plain loads whose visibility fell below the window.
+func (s *System) maybeEvict(loc *location) {
+	bound := s.cfg.StoreBound
+	if !s.cfg.FastMode || bound < 2 || len(loc.stores) <= bound {
+		return
+	}
+	e := len(loc.stores) / 2
+	loc.evictedVal = loc.stores[e-1].act.Value
+	for i := 0; i < e; i++ {
+		st := &loc.stores[i]
+		s.freeAction(st.act)
+		if st.sync != nil {
+			s.freeClock(st.sync)
+		}
+	}
+	n := copy(loc.stores, loc.stores[e:])
+	for i := n; i < len(loc.stores); i++ {
+		loc.stores[i] = storeRec{}
+	}
+	loc.stores = loc.stores[:n]
+	loc.moBase += e
+	s.evictions++
+
+	// Constraints and coherence records below the new base are vacuous
+	// (floors start at moBase); dropping them is what keeps the auxiliary
+	// slices bounded too.
+	keptSC := loc.scFloors[:0]
+	for _, f := range loc.scFloors {
+		if f.moIdx >= loc.moBase {
+			keptSC = append(keptSC, f)
+		}
+	}
+	loc.scFloors = keptSC
+	keptL := loc.loads[:0]
+	maxRF := -1
+	for _, lr := range loc.loads {
+		if lr.rfMO >= loc.moBase {
+			keptL = append(keptL, lr)
+			if lr.rfMO > maxRF {
+				maxRF = lr.rfMO
+			}
+		}
+	}
+	loc.loads = keptL
+	loc.maxLoadRF = maxRF
+}
+
+// checkMixed reports a FailMixedRace when any thread in seqs has an
+// access not covered by t's clock — the C11Tester mixed atomic/
+// non-atomic race check. seqs holds per-thread latest-access tseqs
+// (covering a thread's latest access covers all its earlier ones, so one
+// entry per thread is exact). kind is the action kind recorded for the
+// failure report; what/other phrase the message.
+func (s *System) checkMixed(t *Thread, loc *location, seqs []uint32, kind memmodel.Kind, what, other string) {
+	for tid, seq := range seqs {
+		if seq != 0 && tid != t.id && !t.clock.Contains(tid, seq) {
+			t.tseq++
+			t.clock.Set(t.id, t.tseq)
+			s.record(t, kind, memmodel.Relaxed, loc, 0)
+			s.failf(FailMixedRace, "mixed atomic/non-atomic race on %s: T%d %s races with T%d %s",
+				loc.name, t.id, what, tid, other)
+		}
+	}
 }
 
 // checkPublished enforces CDSChecker's uninitialized-load check in its
@@ -541,7 +775,7 @@ func (s *System) validatePin(t *Thread, loc *location, ord memmodel.MemOrder, re
 	floor, published := s.visibleFloorScan(t, loc, scIdx)
 	switch rec.kind {
 	case 'r':
-		n := len(loc.stores) - floor
+		n := loc.moNext() - floor
 		if floor != rec.floor || published != rec.published || n != rec.n {
 			panic(fmt.Sprintf("checker: replay pin mismatch at load of %s: pinned floor=%d published=%v n=%d, recomputed floor=%d published=%v n=%d",
 				loc.name, rec.floor, rec.published, rec.n, floor, published, n))
@@ -617,7 +851,8 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 		floor, n = rec.floor, rec.n
 	} else {
 		s.checkLifetime(t, loc, "atomic load")
-		if len(loc.stores) == 0 {
+		s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindAtomicLoad, "atomic load", "non-atomic store")
+		if loc.moNext() == 0 {
 			t.tseq++
 			t.clock.Set(t.id, t.tseq)
 			s.record(t, memmodel.KindAtomicLoad, ord, loc, 0)
@@ -626,11 +861,22 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 		var published bool
 		floor, published = s.visibleFloor(t, loc, ord)
 		s.checkPublished(t, loc, published, "atomic load")
-		n = len(loc.stores) - floor
+		n = loc.moNext() - floor
 		s.chooser.noteFloor(floorRec{kind: 'r', floor: floor, published: published, n: n})
 	}
-	idx := floor + s.chooser.choose(n, 'r')
-	st := loc.stores[idx]
+	var idx int
+	if s.cfg.FastMode && t.lastResortEpoch == s.storeEpoch {
+		// The thread is a spinner woken as a last resort: on real
+		// hardware a spin loop eventually observes the newest value
+		// (the fairness assumption the exhaustive engine enforces by
+		// pruning). Sampling a stale store here would strand the whole
+		// run in the fairness prune, so the retry reads the newest
+		// store unconditionally — which is always readable.
+		idx = loc.lastStoreIdx()
+	} else {
+		idx = floor + s.chooser.choose(n, 'r')
+	}
+	st := *loc.store(idx)
 
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
@@ -640,29 +886,48 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 	s.assignSC(act, ord)
 	s.addLoad(t, loc, idx)
 	s.noteOwnLoad(t, loc, idx)
-	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
+	setSeq(&loc.readSeq, t.id, t.tseq)
+	s.noteRecentRead(t, loc, idx)
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: ord.IsSeqCst()})
 	return st.act.Value
 }
+
+// noteRecentRead appends to the spin-loop fairness window; fast mode
+// bounds it (a thread that never yields would otherwise accumulate one
+// entry per load forever).
+func (s *System) noteRecentRead(t *Thread, loc *location, idx int) {
+	if s.cfg.FastMode && len(t.recentReads) >= fastRecentReadsCap {
+		n := copy(t.recentReads, t.recentReads[len(t.recentReads)-fastRecentReadsCap/2:])
+		t.recentReads = t.recentReads[:n]
+	}
+	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
+}
+
+// fastRecentReadsCap bounds Thread.recentReads in fast mode.
+const fastRecentReadsCap = 64
 
 // doStore implements an atomic store. rfSync is non-nil only when called
 // from doRMW (release-sequence continuation).
 func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memmodel.Value, rfSync *memmodel.ClockVector) *memmodel.Action {
 	s.bumpStep()
 	s.checkLifetime(t, loc, "atomic store")
+	s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindAtomicStore, "atomic store", "non-atomic store")
+	s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindAtomicStore, "atomic store", "non-atomic load")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	sync := s.releaseClockFor(t, ord, rfSync)
 	act := s.record(t, memmodel.KindAtomicStore, ord, loc, v)
-	moIdx := len(loc.stores)
+	moIdx := loc.moNext()
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
 	loc.setLastStoreByThread(t.id, moIdx)
+	setSeq(&loc.writeSeq, t.id, t.tseq)
 	s.assignSC(act, ord)
 	if act.SCIndex >= 0 {
 		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
 	}
 	s.storeEpoch++
+	s.maybeEvict(loc)
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: ord.IsSeqCst()})
 	return act
 }
@@ -680,7 +945,9 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 		}
 	} else {
 		s.checkLifetime(t, loc, "atomic RMW")
-		if len(loc.stores) == 0 {
+		s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindAtomicRMW, "atomic RMW", "non-atomic store")
+		s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindAtomicRMW, "atomic RMW", "non-atomic load")
+		if loc.moNext() == 0 {
 			t.tseq++
 			t.clock.Set(t.id, t.tseq)
 			s.record(t, memmodel.KindAtomicRMW, ord, loc, 0)
@@ -690,26 +957,30 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 		s.checkPublished(t, loc, published, "atomic RMW")
 		s.chooser.noteFloor(floorRec{kind: 'm', published: published})
 	}
-	last := loc.stores[len(loc.stores)-1]
+	lastIdx := loc.lastStoreIdx()
+	last := *loc.store(lastIdx)
 	old := last.act.Value
 
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	s.applyReadSync(t, ord, last)
-	s.addLoad(t, loc, len(loc.stores)-1)
+	s.addLoad(t, loc, lastIdx)
+	setSeq(&loc.readSeq, t.id, t.tseq)
 
 	sync := s.releaseClockFor(t, ord, last.sync)
 	act := s.record(t, memmodel.KindAtomicRMW, ord, loc, f(old))
 	act.RF = last.act
-	moIdx := len(loc.stores)
+	moIdx := loc.moNext()
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
 	loc.setLastStoreByThread(t.id, moIdx)
+	setSeq(&loc.writeSeq, t.id, t.tseq)
 	s.assignSC(act, ord)
 	if act.SCIndex >= 0 {
 		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
 	}
 	s.storeEpoch++
+	s.maybeEvict(loc)
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: ord.IsSeqCst()})
 	return old
 }
@@ -735,18 +1006,19 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		rec = r
 	} else {
 		s.checkLifetime(t, loc, "CAS")
-		if len(loc.stores) == 0 {
+		s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindAtomicRMW, "CAS", "non-atomic store")
+		if loc.moNext() == 0 {
 			t.tseq++
 			t.clock.Set(t.id, t.tseq)
 			s.record(t, memmodel.KindAtomicRMW, succOrd, loc, 0)
 			s.failf(FailUninitLoad, "CAS of %s before any store", loc.name)
 		}
-		canSucceed := loc.stores[len(loc.stores)-1].act.Value == expected
+		canSucceed := loc.store(loc.lastStoreIdx()).act.Value == expected
 		floor, published := s.visibleFloor(t, loc, failOrd)
 		s.checkPublished(t, loc, published, "CAS")
 		n := 0
-		for i := floor; i < len(loc.stores); i++ {
-			if loc.stores[i].act.Value != expected {
+		for i := floor; i < loc.moNext(); i++ {
+			if loc.store(i).act.Value != expected {
 				n++
 			}
 		}
@@ -767,25 +1039,33 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 	choice := s.chooser.choose(rec.n, 'c')
 
 	if rec.canSucceed && choice == 0 {
-		// Success: behave exactly like doRMW writing desired.
-		lastIdx := len(loc.stores) - 1
-		last := loc.stores[lastIdx]
+		// Success: behave exactly like doRMW writing desired. The write
+		// side's mixed check runs here (not on the shared fresh path): a
+		// failing CAS performs only a load and must not race with
+		// non-atomic reads. Replay re-creates identical state, so running
+		// it unconditionally cannot fail a prefix that passed before.
+		s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindAtomicRMW, "CAS", "non-atomic load")
+		lastIdx := loc.lastStoreIdx()
+		last := *loc.store(lastIdx)
 		t.tseq++
 		t.clock.Set(t.id, t.tseq)
 		s.applyReadSync(t, succOrd, last)
 		s.addLoad(t, loc, lastIdx)
+		setSeq(&loc.readSeq, t.id, t.tseq)
 		sync := s.releaseClockFor(t, succOrd, last.sync)
 		act := s.record(t, memmodel.KindAtomicRMW, succOrd, loc, desired)
 		act.RF = last.act
-		moIdx := len(loc.stores)
+		moIdx := loc.moNext()
 		act.MOIndex = moIdx
 		loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
 		loc.setLastStoreByThread(t.id, moIdx)
+		setSeq(&loc.writeSeq, t.id, t.tseq)
 		s.assignSC(act, succOrd)
 		if act.SCIndex >= 0 {
 			loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
 		}
 		s.storeEpoch++
+		s.maybeEvict(loc)
 		s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: succOrd.IsSeqCst()})
 		return expected, true
 	}
@@ -798,8 +1078,8 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 			rank--
 		}
 		idx = -1
-		for i := rec.floor; i < len(loc.stores); i++ {
-			if loc.stores[i].act.Value != expected {
+		for i := rec.floor; i < loc.moNext(); i++ {
+			if loc.store(i).act.Value != expected {
 				if rank == 0 {
 					idx = i
 					break
@@ -813,7 +1093,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		rec.resolvedFor = choice
 		rec.resolvedIdx = idx
 	}
-	st := loc.stores[idx]
+	st := *loc.store(idx)
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	s.applyReadSync(t, failOrd, st)
@@ -822,7 +1102,8 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 	s.assignSC(act, failOrd)
 	s.addLoad(t, loc, idx)
 	s.noteOwnLoad(t, loc, idx)
-	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: idx})
+	setSeq(&loc.readSeq, t.id, t.tseq)
+	s.noteRecentRead(t, loc, idx)
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: failOrd.IsSeqCst()})
 	return st.act.Value, false
 }
@@ -836,10 +1117,10 @@ func (s *System) validateCASPin(t *Thread, loc *location, expected memmodel.Valu
 		scIdx = t.lastSCFence
 	}
 	floor, published := s.visibleFloorScan(t, loc, scIdx)
-	canSucceed := len(loc.stores) > 0 && loc.stores[len(loc.stores)-1].act.Value == expected
+	canSucceed := loc.moNext() > 0 && loc.store(loc.lastStoreIdx()).act.Value == expected
 	n := 0
-	for i := floor; i < len(loc.stores); i++ {
-		if loc.stores[i].act.Value != expected {
+	for i := floor; i < loc.moNext(); i++ {
+		if loc.store(i).act.Value != expected {
 			n++
 		}
 	}
@@ -863,6 +1144,11 @@ func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
 		}
 	}
 	if ord.IsRelease() {
+		if s.cfg.FastMode && t.relFence != nil {
+			// Fast-mode snapshots are owned copies, so the replaced fence
+			// clock can be recycled immediately.
+			s.freeClock(t.relFence)
+		}
 		t.relFence = s.snap(t.clock)
 	}
 	act := s.record(t, memmodel.KindFence, ord, nil, 0)
@@ -896,15 +1182,18 @@ func (s *System) doPlainLoad(t *Thread, loc *location) memmodel.Value {
 	s.checkLifetime(t, loc, "plain load")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	if len(loc.stores) == 0 {
+	if loc.moNext() == 0 {
 		s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
 		s.failf(FailUninitLoad, "load of plain location %s before any store", loc.name)
+	}
+	if s.cfg.FastMode {
+		return s.fastPlainLoad(t, loc)
 	}
 	// Race: any store by another thread not ordered with this load.
 	best := -1
 	for i, st := range loc.stores {
 		if t.clock.Contains(st.act.Thread, st.act.TSeq) {
-			best = i
+			best = loc.moBase + i
 		} else if st.act.Thread != t.id {
 			s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
 			s.failf(FailDataRace, "data race on %s: T%d load races with T%d store (#%d)",
@@ -915,12 +1204,48 @@ func (s *System) doPlainLoad(t *Thread, loc *location) memmodel.Value {
 		s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
 		s.failf(FailUninitLoad, "load of plain location %s sees no ordered store", loc.name)
 	}
-	st := loc.stores[best]
+	st := *loc.store(best)
 	act := s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, st.act.Value)
 	act.RF = st.act
 	s.addLoad(t, loc, best)
-	t.recentReads = append(t.recentReads, readRef{loc: loc, rfMO: best})
+	setSeq(&loc.readSeq, t.id, t.tseq)
+	s.noteRecentRead(t, loc, best)
 	return st.act.Value
+}
+
+// fastPlainLoad is the fast-mode plain load: races are detected against
+// the per-thread writeSeq vector (exact and never evicted, unlike the
+// store window), and the value is the newest visible store in the window
+// — or the remembered evicted value when visibility fell below it.
+func (s *System) fastPlainLoad(t *Thread, loc *location) memmodel.Value {
+	for tid, seq := range loc.writeSeq {
+		if seq != 0 && tid != t.id && !t.clock.Contains(tid, seq) {
+			s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
+			s.failf(FailDataRace, "data race on %s: T%d load races with T%d store",
+				loc.name, t.id, tid)
+		}
+	}
+	best := -1
+	for i, st := range loc.stores {
+		if st.act.Thread == t.id || t.clock.Contains(st.act.Thread, st.act.TSeq) {
+			best = loc.moBase + i
+		}
+	}
+	var v memmodel.Value
+	switch {
+	case best >= 0:
+		v = loc.store(best).act.Value
+	case loc.moBase > 0:
+		v = loc.evictedVal
+		best = loc.moBase - 1
+	default:
+		s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
+		s.failf(FailUninitLoad, "load of plain location %s sees no ordered store", loc.name)
+	}
+	s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, v)
+	setSeq(&loc.readSeq, t.id, t.tseq)
+	s.noteRecentRead(t, loc, best)
+	return v
 }
 
 // doPlainStore implements a non-atomic store with race detection.
@@ -929,23 +1254,94 @@ func (s *System) doPlainStore(t *Thread, loc *location, v memmodel.Value) {
 	s.checkLifetime(t, loc, "plain store")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	for _, st := range loc.stores {
-		if st.act.Thread != t.id && !t.clock.Contains(st.act.Thread, st.act.TSeq) {
-			s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
-			s.failf(FailDataRace, "data race on %s: T%d store races with T%d store (#%d)",
-				loc.name, t.id, st.act.Thread, st.act.ID)
+	if s.cfg.FastMode {
+		// Exact vector checks instead of the store/load record scans.
+		for tid, seq := range loc.writeSeq {
+			if seq != 0 && tid != t.id && !t.clock.Contains(tid, seq) {
+				s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+				s.failf(FailDataRace, "data race on %s: T%d store races with T%d store",
+					loc.name, t.id, tid)
+			}
 		}
-	}
-	for _, lr := range loc.loads {
-		if lr.tid != t.id && !t.clock.Contains(lr.tid, lr.tseq) {
-			s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
-			s.failf(FailDataRace, "data race on %s: T%d store races with T%d load",
-				loc.name, t.id, lr.tid)
+		for tid, seq := range loc.readSeq {
+			if seq != 0 && tid != t.id && !t.clock.Contains(tid, seq) {
+				s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+				s.failf(FailDataRace, "data race on %s: T%d store races with T%d load",
+					loc.name, t.id, tid)
+			}
+		}
+	} else {
+		for _, st := range loc.stores {
+			if st.act.Thread != t.id && !t.clock.Contains(st.act.Thread, st.act.TSeq) {
+				s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+				s.failf(FailDataRace, "data race on %s: T%d store races with T%d store (#%d)",
+					loc.name, t.id, st.act.Thread, st.act.ID)
+			}
+		}
+		for _, lr := range loc.loads {
+			if lr.tid != t.id && !t.clock.Contains(lr.tid, lr.tseq) {
+				s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+				s.failf(FailDataRace, "data race on %s: T%d store races with T%d load",
+					loc.name, t.id, lr.tid)
+			}
 		}
 	}
 	act := s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
-	moIdx := len(loc.stores)
+	moIdx := loc.moNext()
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act})
 	loc.setLastStoreByThread(t.id, moIdx)
+	setSeq(&loc.writeSeq, t.id, t.tseq)
+	s.maybeEvict(loc)
+}
+
+// doRawLoad implements Atomic.RawLoad: a non-atomic load of an atomic
+// location (C11Tester's signature mixed-access scenario — e.g. reading an
+// atomic counter outside the critical section). Any write by another
+// thread not ordered with the load — atomic or not — is a mixed race.
+// Like plain accesses it is not a scheduling point.
+func (s *System) doRawLoad(t *Thread, loc *location) memmodel.Value {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "non-atomic load")
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	if loc.moNext() == 0 {
+		s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, 0)
+		s.failf(FailUninitLoad, "non-atomic load of atomic %s before any store", loc.name)
+	}
+	s.checkMixed(t, loc, loc.writeSeq, memmodel.KindPlainLoad, "non-atomic load", "atomic store")
+	s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindPlainLoad, "non-atomic load", "non-atomic store")
+	// Race-free means every store is ordered before this load, so the
+	// newest one is the unique coherent value.
+	idx := loc.lastStoreIdx()
+	st := *loc.store(idx)
+	act := s.record(t, memmodel.KindPlainLoad, memmodel.Relaxed, loc, st.act.Value)
+	act.RF = st.act
+	s.addLoad(t, loc, idx)
+	setSeq(&loc.rawReadSeq, t.id, t.tseq)
+	return st.act.Value
+}
+
+// doRawStore implements Atomic.RawStore: a non-atomic store to an atomic
+// location. It conflicts with every other-thread access, atomic or not.
+// The stored value joins the modification order (relaxed-like, carrying
+// no release clock) so subsequent atomic loads observe it.
+func (s *System) doRawStore(t *Thread, loc *location, v memmodel.Value) {
+	s.bumpStep()
+	s.checkLifetime(t, loc, "non-atomic store")
+	t.tseq++
+	t.clock.Set(t.id, t.tseq)
+	s.checkMixed(t, loc, loc.writeSeq, memmodel.KindPlainStore, "non-atomic store", "atomic store")
+	s.checkMixed(t, loc, loc.readSeq, memmodel.KindPlainStore, "non-atomic store", "atomic load")
+	s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindPlainStore, "non-atomic store", "non-atomic store")
+	s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindPlainStore, "non-atomic store", "non-atomic load")
+	act := s.record(t, memmodel.KindPlainStore, memmodel.Relaxed, loc, v)
+	moIdx := loc.moNext()
+	act.MOIndex = moIdx
+	loc.stores = append(loc.stores, storeRec{act: act})
+	loc.setLastStoreByThread(t.id, moIdx)
+	setSeq(&loc.rawWriteSeq, t.id, t.tseq)
+	// Atomic readers use the visibility cache; the new store must miss it.
+	s.storeEpoch++
+	s.maybeEvict(loc)
 }

@@ -486,6 +486,14 @@ func specFail(format string, args ...any) *checker.Failure {
 // Config.NewScratch hook, whose Scratch value the cache would collide
 // with).
 func Explore(spec *Spec, cfg checker.Config, prog func(*checker.Thread)) *checker.Result {
+	if cfg.FastMode {
+		// Fast mode retains no action trace and no per-action clocks, so
+		// the monitor's history reconstruction has nothing to read; its
+		// built-in checks (races, deadlocks, uninitialized loads) still
+		// fire through checker.Explore directly. Rejecting loudly beats
+		// silently skipping the spec.
+		panic("core.Explore: FastMode cannot be combined with the CDSSpec layer; call checker.Explore directly for fast-mode screening")
+	}
 	userStart := cfg.OnRunStart
 	cfg.OnRunStart = func(sys *checker.System) {
 		Install(sys, spec)

@@ -39,6 +39,8 @@ func TriageBucket(k checker.FailureKind) string {
 		return "spec/admissibility"
 	case checker.FailAPIMisuse:
 		return "harness/api-misuse"
+	case checker.FailMixedRace:
+		return "builtin/mixed-race"
 	}
 	return ""
 }

@@ -1,0 +1,144 @@
+// Triage end-to-end tests live in an external test package: the real
+// structure registries (msqueue) import internal/fuzz for the Registry
+// type, so an in-package test importing them would be an import cycle.
+package fuzz_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/structures/msqueue"
+)
+
+func msqueueTarget() *fuzz.Target {
+	return &fuzz.Target{
+		Name:     "msqueue",
+		Spec:     func() *core.Spec { return msqueue.Spec("q") },
+		Orders:   msqueue.DefaultOrders,
+		Registry: msqueue.FuzzOps(),
+	}
+}
+
+// TestTriageEndToEnd drives the full screen → confirm → shrink pipeline
+// against the §6.4.1 seeded bug (KnownBugEnqueue weakens the enqueue's
+// publishing CAS to relaxed): fast mode screens generated programs at
+// screen-tier speed and flags the ones where a dequeuer reads the node
+// payload before the weakened publication makes it visible; exhaustive
+// mode re-checks every flagged program through the CDSSpec layer and
+// confirms the uninitialized load; the shrinker reduces each confirmed
+// reproducer to a local minimum (an enq racing a deq — two ops).
+func TestTriageEndToEnd(t *testing.T) {
+	res, err := fuzz.Triage(msqueueTarget(), fuzz.TriageConfig{
+		Seed:     42,
+		Count:    12,
+		FastRuns: 300,
+		Orders:   msqueue.KnownBugEnqueue(),
+		Shrink:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Screened != 12 {
+		t.Fatalf("screened %d programs, want 12", res.Screened)
+	}
+	if res.Flagged == 0 {
+		t.Fatal("fast-mode screen flagged nothing: the seeded bug went undetected")
+	}
+	if len(res.Confirmed) == 0 {
+		t.Fatal("exhaustive tier confirmed none of the flagged programs")
+	}
+	if len(res.Confirmed)+len(res.Unconfirmed) != res.Flagged {
+		t.Errorf("confirmed %d + unconfirmed %d != flagged %d",
+			len(res.Confirmed), len(res.Unconfirmed), res.Flagged)
+	}
+	if res.FastExecutions == 0 || res.ConfirmExecutions == 0 {
+		t.Errorf("both tiers must spend executions: fast=%d confirm=%d",
+			res.FastExecutions, res.ConfirmExecutions)
+	}
+	if res.Buckets["builtin/uninitialized-load"] != len(res.Confirmed) {
+		t.Errorf("buckets = %v, want all %d confirmed hits under builtin/uninitialized-load",
+			res.Buckets, len(res.Confirmed))
+	}
+	for _, h := range res.Confirmed {
+		if h.Screen == nil || h.Screen.Kind != checker.FailUninitLoad {
+			t.Errorf("screen failure = %v, want uninitialized-load", h.Screen)
+		}
+		if h.Verdict == nil || h.Verdict.Failure == nil {
+			t.Fatalf("confirmed hit %s has no exhaustive verdict", h.Program)
+		}
+		if h.Minimal == nil {
+			t.Fatalf("confirmed hit %s was not shrunk", h.Program)
+		}
+		if got, orig := h.Minimal.Minimal.OpCount(), h.Program.OpCount(); got > orig {
+			t.Errorf("shrinker grew the program: %d ops -> %d", orig, got)
+		}
+		// The minimal reproducer of this bug is one enqueue racing one
+		// dequeue: the shrinker must reach it from every flagged shape.
+		if got := h.Minimal.Minimal.OpCount(); got != 2 {
+			t.Errorf("minimal reproducer has %d ops, want 2:\n%s", got, h.Minimal.Minimal)
+		}
+		if h.Minimal.Kind != h.Verdict.Failure.Kind {
+			t.Errorf("shrink preserved kind %s but original failed with %s",
+				h.Minimal.Kind, h.Verdict.Failure.Kind)
+		}
+	}
+}
+
+// TestTriageDeterministic: everything except Elapsed is a pure function
+// of (target, config) — two runs agree bit-for-bit even though the
+// screen and confirm tiers fan out across workers.
+func TestTriageDeterministic(t *testing.T) {
+	run := func(workers int) []byte {
+		res, err := fuzz.Triage(msqueueTarget(), fuzz.TriageConfig{
+			Seed:     42,
+			Count:    8,
+			FastRuns: 200,
+			Workers:  workers,
+			Orders:   msqueue.KnownBugEnqueue(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Elapsed = 0
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b, c := run(1), run(4), run(4)
+	if string(a) != string(b) || string(b) != string(c) {
+		t.Errorf("triage results differ across runs/worker counts:\n%s\n%s\n%s", a, b, c)
+	}
+}
+
+// TestTriageCleanOrders: with the correct order table the screen flags
+// nothing — the triage tier does not manufacture false positives.
+// Two-thread shapes only: some generated 3-thread msqueue programs hit a
+// genuine uninitialized q.next load even under the correct orders (both
+// modes agree — exhaustive mode reproduces it in ~6.6k executions), so
+// 3-thread clean programs are not a false-positive baseline.
+// ConfirmBudget is a belt-and-suspenders bound: nothing should be
+// flagged, but an unbounded confirm tier on a large clean program can
+// run for minutes.
+func TestTriageCleanOrders(t *testing.T) {
+	res, err := fuzz.Triage(msqueueTarget(), fuzz.TriageConfig{
+		Seed:          42,
+		Count:         8,
+		FastRuns:      200,
+		ConfirmBudget: 20000,
+		Gen:           fuzz.GenConfig{MaxThreads: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flagged != 0 {
+		t.Errorf("screen flagged %d programs under correct orders", res.Flagged)
+	}
+	if len(res.Confirmed) != 0 || len(res.Unconfirmed) != 0 {
+		t.Errorf("nothing was flagged but confirm tier produced hits: %+v", res)
+	}
+}

@@ -1,0 +1,301 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/memmodel"
+	"repro/internal/structures/chaselev"
+	"repro/internal/structures/mpmc"
+	"repro/internal/structures/msqueue"
+)
+
+// This file implements the fast-mode benchmark gate behind the
+// BENCH_fastmode.json CI artifact: C11Tester-style sampling measured on
+// three row classes.
+//
+//   - unit rows: every paper benchmark's primary unit test sampled for a
+//     few thousand runs — the runs-per-second number (the paper-scale
+//     programs must clear 1000 runs/sec by a wide margin) and a
+//     zero-false-positive check (correct orders must stay clean).
+//   - seeded rows: the builtin-detectable §6.4.1 bugs (the M&S queue
+//     enqueue-publication CAS and the Chase-Lev resize publication) under
+//     their known-bug order tables — fast mode must find each within the
+//     run budget, the detection-power check.
+//   - scaled rows: a 10⁵-operation MPMC workload no exhaustive engine
+//     can touch (the execution tree at that depth is astronomically
+//     large; exhaustive checking of the 6-op unit test already takes
+//     thousands of executions) — fast mode samples whole runs in bounded
+//     memory, the O(live state) check. Throughput is reported as
+//     operations per second (runs at this scale take ~100ms each;
+//     runs/sec is the unit-row metric).
+//
+// All rows run fast mode sequentially with fixed seeds, so every
+// non-timing column is deterministic.
+
+// FastRow is one fast-mode measurement.
+type FastRow struct {
+	Name string `json:"name"`
+	// RowKind is "unit", "seeded", or "scaled".
+	RowKind string `json:"row_kind"`
+	// Runs is the sampled run count; OpsPerRun the data-structure
+	// operations per run (scaled rows; 0 means unit-test scale).
+	Runs      int `json:"runs"`
+	OpsPerRun int `json:"ops_per_run,omitempty"`
+	// Feasible counts runs that completed without pruning; a clean row
+	// must have every run feasible (a step-bound or fairness prune on a
+	// correct benchmark means the budget or the sampler is wrong).
+	Feasible int `json:"feasible"`
+	// Failures counts failing runs; Detected is whether any failure was
+	// found. Seeded rows expect Detected (ExpectDetect true), all other
+	// rows expect zero failures.
+	Failures     int    `json:"failures"`
+	Detected     bool   `json:"detected"`
+	ExpectDetect bool   `json:"expect_detect"`
+	FirstFailure string `json:"first_failure,omitempty"`
+	// RunsPerSec is the sampling throughput; OpsPerSec multiplies it by
+	// OpsPerRun for scaled rows.
+	RunsPerSec float64       `json:"runs_per_sec"`
+	OpsPerSec  float64       `json:"ops_per_sec,omitempty"`
+	Time       time.Duration `json:"time_ns"`
+	// Evictions counts store-buffer evictions (Stats.StoreBufferEvictions)
+	// — nonzero on scaled rows, evidence the memory bound engaged.
+	Evictions int `json:"evictions"`
+	// HeapHighWaterBytes is the process heap high-water observed across
+	// the row's runs (runtime.MemStats.HeapAlloc sampled between runs) —
+	// the bounded-memory evidence for scaled rows. Process-wide, so rows
+	// run strictly sequentially.
+	HeapHighWaterBytes uint64 `json:"heap_high_water_bytes"`
+}
+
+// Pass reports whether the row met its expectation: seeded rows must
+// detect their bug; every other row must stay clean with every run
+// feasible (no failures hidden behind prunes).
+func (r FastRow) Pass() bool {
+	if r.ExpectDetect {
+		return r.Detected
+	}
+	return r.Failures == 0 && r.Feasible == r.Runs
+}
+
+// fastHeapSampleEvery is the run period of the heap high-water sampling
+// hook (sampling ReadMemStats per run would dominate unit-row runtime).
+const fastHeapSampleEvery = 50
+
+// measureFast samples prog under cfg (FastMode forced on) and fills a
+// row. Heap is sampled every fastHeapSampleEvery runs via OnRunStart
+// plus once after the final run.
+func measureFast(name, rowKind string, cfg checker.Config, prog func(*checker.Thread)) FastRow {
+	cfg.FastMode = true
+	var high uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > high {
+			high = ms.HeapAlloc
+		}
+	}
+	runs := 0
+	userStart := cfg.OnRunStart
+	cfg.OnRunStart = func(sys *checker.System) {
+		if runs%fastHeapSampleEvery == 0 {
+			sample()
+		}
+		runs++
+		if userStart != nil {
+			userStart(sys)
+		}
+	}
+	runtime.GC()
+	res := checker.Explore(cfg, prog)
+	sample()
+	row := FastRow{
+		Name:               name,
+		RowKind:            rowKind,
+		Runs:               res.Executions,
+		Feasible:           res.Feasible,
+		Failures:           res.FailureCount,
+		Detected:           res.FailureCount > 0,
+		RunsPerSec:         res.Stats.RunsPerSec,
+		Time:               res.Elapsed,
+		Evictions:          res.Stats.StoreBufferEvictions,
+		HeapHighWaterBytes: high,
+	}
+	if f := res.FirstFailure(); f != nil {
+		row.FirstFailure = fmt.Sprintf("%s: %s", f.Kind, f.Msg)
+	}
+	return row
+}
+
+// scaledMPMCProg builds the production-sized workload: perThread
+// operations by each of two producers and two consumers against one
+// bounded ring. The MPMC queue reuses a fixed set of locations (slots +
+// two tickets), so live state stays bounded no matter how many
+// operations flow through — the workload the store-buffer bound exists
+// for. (The M&S queue would allocate two locations per enqueue and grow
+// without bound.)
+func scaledMPMCProg(perThread, capacity int) func(*checker.Thread) {
+	return func(root *checker.Thread) {
+		q := mpmc.New(root, "q", nil, capacity)
+		worker := func(name string, enq bool) *checker.Thread {
+			return root.Spawn(name, func(tt *checker.Thread) {
+				for i := 0; i < perThread; i++ {
+					if enq {
+						q.Enq(tt, memmodel.Value(i+1))
+					} else {
+						q.Deq(tt)
+					}
+				}
+			})
+		}
+		p1, p2 := worker("p1", true), worker("p2", true)
+		c1, c2 := worker("c1", false), worker("c2", false)
+		root.Join(p1)
+		root.Join(p2)
+		root.Join(c1)
+		root.Join(c2)
+	}
+}
+
+// FastBenchConfig scales the gate; the zero value is the CI shape.
+type FastBenchConfig struct {
+	// Seed seeds every row (default 1).
+	Seed int64
+	// UnitRuns is the run budget per unit row (default 2000).
+	UnitRuns int
+	// SeededRuns is the run budget per seeded-bug row (default 2000).
+	SeededRuns int
+	// ScaledRuns is the run budget per scaled row (default 3).
+	ScaledRuns int
+	// ScaledOpsPerThread is the per-thread op count of the scaled
+	// workload; four threads, so total ops = 4× this (default 25000,
+	// i.e. a 10⁵-op program).
+	ScaledOpsPerThread int
+}
+
+func (c FastBenchConfig) withDefaults() FastBenchConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.UnitRuns == 0 {
+		c.UnitRuns = 2000
+	}
+	if c.SeededRuns == 0 {
+		c.SeededRuns = 2000
+	}
+	if c.ScaledRuns == 0 {
+		c.ScaledRuns = 3
+	}
+	if c.ScaledOpsPerThread == 0 {
+		c.ScaledOpsPerThread = 25000
+	}
+	return c
+}
+
+// RunFastBench measures every row. Rows run strictly sequentially: the
+// heap high-water sample is process-wide, and sequential rows keep every
+// deterministic column reproducible.
+func RunFastBench(cfg FastBenchConfig) []FastRow {
+	cfg = cfg.withDefaults()
+	var rows []FastRow
+
+	// Unit rows: correct orders, so any failure is a fast-mode false
+	// positive (or a real paper-benchmark bug — either way a gate stop).
+	for _, b := range Benchmarks() {
+		rows = append(rows, measureFast(b.Name, "unit", checker.Config{
+			MaxExecutions: cfg.UnitRuns,
+			Seed:          cfg.Seed,
+		}, b.Progs(b.Orders())[0]))
+	}
+
+	// Seeded rows: builtin-detectable §6.4.1 bugs. StopAtFirst — the
+	// row measures detection, not post-detection throughput.
+	ms := BenchmarkByName("M&S Queue")
+	rows = append(rows, measureFast("M&S Queue [seeded enq bug]", "seeded", checker.Config{
+		MaxExecutions: cfg.SeededRuns,
+		Seed:          cfg.Seed,
+		StopAtFirst:   true,
+	}, ms.Progs(msqueue.KnownBugEnqueue())[0]))
+	cl := BenchmarkByName("Chase-Lev Deque")
+	rows = append(rows, measureFast("Chase-Lev Deque [seeded resize bug]", "seeded", checker.Config{
+		MaxExecutions: cfg.SeededRuns,
+		Seed:          cfg.Seed,
+		StopAtFirst:   true,
+	}, cl.Progs(chaselev.KnownBugOrders())[1]))
+	for i := len(rows) - 2; i < len(rows); i++ {
+		rows[i].ExpectDetect = true
+	}
+
+	// Scaled row: 4 × ScaledOpsPerThread operations per run. The step
+	// bound must cover data-structure steps plus spin retries; 100×
+	// leaves headroom (a blown bound prunes the run, which Pass catches
+	// as Feasible < Runs).
+	totalOps := 4 * cfg.ScaledOpsPerThread
+	scaled := measureFast(
+		fmt.Sprintf("MPMC ring 4×%d ops", cfg.ScaledOpsPerThread), "scaled",
+		checker.Config{
+			MaxExecutions: cfg.ScaledRuns,
+			Seed:          cfg.Seed,
+			MaxSteps:      100 * totalOps,
+		}, scaledMPMCProg(cfg.ScaledOpsPerThread, 64))
+	scaled.OpsPerRun = totalOps
+	scaled.OpsPerSec = scaled.RunsPerSec * float64(totalOps)
+	rows = append(rows, scaled)
+
+	return rows
+}
+
+// FastSnapshotSchema identifies the BENCH_fastmode.json layout.
+const FastSnapshotSchema = "cdsspec-fastmode/v1"
+
+// FastSnapshot is the serialized form of a fast-mode benchmark run.
+type FastSnapshot struct {
+	Schema string    `json:"schema"`
+	Rows   []FastRow `json:"fastmode"`
+}
+
+// FastSnapshotJSON serializes rows into the BENCH_fastmode.json blob.
+func FastSnapshotJSON(rows []FastRow) ([]byte, error) {
+	return json.MarshalIndent(&FastSnapshot{Schema: FastSnapshotSchema, Rows: rows}, "", "  ")
+}
+
+// ReadFastSnapshot decodes a BENCH_fastmode.json blob, rejecting unknown
+// schemas outright rather than misreading them.
+func ReadFastSnapshot(data []byte) (*FastSnapshot, error) {
+	var s FastSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("decoding fastmode snapshot: %w", err)
+	}
+	if s.Schema != FastSnapshotSchema {
+		return nil, fmt.Errorf("unsupported fastmode snapshot schema %q (want %q)", s.Schema, FastSnapshotSchema)
+	}
+	return &s, nil
+}
+
+// FormatFastBench renders the rows as the EXPERIMENTS.md-style table.
+// Unit and seeded rows print runs/sec; the scaled row adds ops/sec and
+// the heap high-water, the bounded-memory evidence.
+func FormatFastBench(rows []FastRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-36s %-6s %8s %10s %12s %12s %10s %9s %6s %s\n",
+		"benchmark", "kind", "runs", "ops/run", "runs/sec", "ops/sec", "heap-high", "evictions", "pass", "failure")
+	for _, r := range rows {
+		opsPerRun, opsPerSec := "n/a", "n/a"
+		if r.OpsPerRun > 0 {
+			opsPerRun = fmt.Sprintf("%d", r.OpsPerRun)
+			opsPerSec = fmt.Sprintf("%.0f", r.OpsPerSec)
+		}
+		fail := r.FirstFailure
+		if fail == "" {
+			fail = "-"
+		}
+		fmt.Fprintf(&sb, "%-36s %-6s %8d %10s %12.0f %12s %9.1fM %9d %6v %s\n",
+			r.Name, r.RowKind, r.Runs, opsPerRun, r.RunsPerSec, opsPerSec,
+			float64(r.HeapHighWaterBytes)/(1<<20), r.Evictions, r.Pass(), fail)
+	}
+	return sb.String()
+}

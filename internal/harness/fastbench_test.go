@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFastBenchSmoke runs the whole gate at reduced budgets: every
+// unit row must stay clean with all runs feasible, both seeded rows must
+// detect their §6.4.1 bug, and the scaled row must push ≥10⁵ operations
+// per run through bounded store buffers (evictions prove the bound
+// engaged). No wall-clock assertion — CI machines vary; the throughput
+// columns are reported, not gated, and EXPERIMENTS.md records reference
+// numbers.
+func TestFastBenchSmoke(t *testing.T) {
+	cfg := FastBenchConfig{
+		UnitRuns:           300,
+		SeededRuns:         2000,
+		ScaledRuns:         1,
+		ScaledOpsPerThread: 25000,
+	}
+	rows := RunFastBench(cfg)
+	if len(rows) != len(Benchmarks())+3 {
+		t.Fatalf("got %d rows, want %d unit + 2 seeded + 1 scaled", len(rows), len(Benchmarks()))
+	}
+	var scaled *FastRow
+	for i := range rows {
+		r := &rows[i]
+		if !r.Pass() {
+			t.Errorf("row %q (%s) failed: failures=%d feasible=%d/%d detected=%v first=%s",
+				r.Name, r.RowKind, r.Failures, r.Feasible, r.Runs, r.Detected, r.FirstFailure)
+		}
+		if r.RowKind == "scaled" {
+			scaled = r
+		}
+	}
+	if scaled == nil {
+		t.Fatal("no scaled row")
+	}
+	if scaled.OpsPerRun < 100000 {
+		t.Errorf("scaled row runs %d ops, want >= 1e5", scaled.OpsPerRun)
+	}
+	if scaled.Evictions == 0 {
+		t.Error("scaled row saw no store-buffer evictions: the memory bound never engaged")
+	}
+	if scaled.HeapHighWaterBytes == 0 {
+		t.Error("scaled row recorded no heap high-water")
+	}
+
+	table := FormatFastBench(rows)
+	for _, want := range []string{"benchmark", "runs/sec", "ops/sec", "heap-high", "MPMC ring"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestFastSnapshotRoundTrip: the BENCH_fastmode.json blob decodes back
+// bit-identically and unknown schemas are rejected.
+func TestFastSnapshotRoundTrip(t *testing.T) {
+	rows := []FastRow{{
+		Name: "x", RowKind: "unit", Runs: 10, Feasible: 10,
+		RunsPerSec: 1234.5, HeapHighWaterBytes: 1 << 20,
+	}}
+	blob, err := FastSnapshotJSON(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadFastSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != FastSnapshotSchema || len(s.Rows) != 1 || s.Rows[0] != rows[0] {
+		t.Errorf("snapshot did not round-trip: %+v", s)
+	}
+	if _, err := ReadFastSnapshot([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
