@@ -20,10 +20,15 @@ func (c *cli) fastRunCmd(name string) int {
 	}
 	cfg := checker.Config{
 		FastMode:      true,
+		Model:         c.model,
 		Seed:          int64(c.seed),
 		MaxExecutions: c.maxExecs,
 		TimeBudget:    c.timeBudget,
 		Parallelism:   c.parallelism(),
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
 	}
 	intr, cleanup := interruptOnSignal()
 	defer cleanup()

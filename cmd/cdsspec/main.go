@@ -14,6 +14,7 @@
 //	cdsspec dot <benchmark>      print one execution as a Graphviz graph
 //	cdsspec json <benchmark>     print one execution + stats as JSON
 //	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (any schema)
+//	cdsspec modeldiff <target>   diff behavior sets across consistency models
 //	cdsspec kernelbench [-json]  kernel hot-path before/after measurements
 //	cdsspec fuzz [benchmark]     run generative campaigns (§6.4's unit-test gap)
 //	cdsspec shrink <benchmark>   minimize a failing generated program
@@ -23,9 +24,11 @@
 // Flags: -workers N (global or per-subcommand), and per-subcommand
 // -json (machine-readable output), -progress (periodic progress to
 // stderr), -nocache (disable spec-check memoization), -nokernelopts
-// (disable the kernel hot-path optimizations), -par N (work-stealing
+// (disable the kernel hot-path optimizations), -model (consistency
+// model: c11, sc, or scatomics — see DESIGN.md), -par N (work-stealing
 // exploration workers), and -cpuprofile/-memprofile (write pprof
-// profiles of the subcommand). The explore and resume subcommands add
+// profiles of the subcommand). The modeldiff subcommand adds -a and -b
+// (the two models to compare). The explore and resume subcommands add
 // -max, -checkpoint, -checkpoint-every and -verify (see their help
 // text); a SIGINT stops them gracefully and writes a final checkpoint.
 // The fuzz and shrink subcommands add -seed, -count, -budget, -corpus,
@@ -42,10 +45,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/checker/model"
 	"repro/internal/core"
 	"repro/internal/harness"
 )
@@ -65,6 +70,15 @@ type cli struct {
 	nokernelopts   bool
 	cpuProfile     string
 	memProfile     string
+
+	// -model: consistency model for the explored executions. model is
+	// the parsed ID; modelSet records whether the flag was given
+	// explicitly (resume adopts the envelope's model when it wasn't).
+	model    model.ID
+	modelSet bool
+
+	// modeldiff -a/-b.
+	diffA, diffB string
 
 	// explore / resume flags.
 	par             int
@@ -100,6 +114,7 @@ func (c *cli) parallelism() int {
 func (c *cli) opts() harness.Options {
 	o := harness.Options{
 		Workers:           c.workers,
+		Model:             c.model,
 		DisableSpecCache:  c.nocache,
 		DisableKernelOpts: c.nokernelopts,
 		CPUProfile:        c.cpuProfile,
@@ -167,10 +182,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "explore/resume: also checkpoint periodically at this interval")
 	sub.BoolVar(&c.verify, "verify", false, "resume: re-explore sequentially from scratch and require a bit-identical result")
 	sub.DurationVar(&c.timeBudget, "time", 0, "fastrun: wall-clock budget for the screen (0 = run budget only)")
+	modelName := sub.String("model", "", "consistency model: c11 (default), sc, or scatomics")
+	sub.StringVar(&c.diffA, "a", "c11", "modeldiff: first model")
+	sub.StringVar(&c.diffB, "b", "sc", "modeldiff: second model")
 	if err := sub.Parse(rest[1:]); err != nil {
 		return 2
 	}
 	c.workers = *subWorkers
+	id, err := model.Parse(*modelName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	c.model = id
+	sub.Visit(func(f *flag.Flag) {
+		if f.Name == "model" {
+			c.modelSet = true
+		}
+	})
 	pos := sub.Args()
 
 	// Profiling wraps the whole subcommand, whatever it is, so a slow
@@ -259,6 +288,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.benchDiff(pos[0], pos[1])
+	case "modeldiff":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec modeldiff [-a model] [-b model] [-json] <target>")
+			fmt.Fprintf(stderr, "targets: %s\n", strings.Join(harness.ModelDiffTargets(), ", "))
+			return 2
+		}
+		return c.modelDiffCmd(pos[0])
 	case "all":
 		if code := c.fig7(); code != 0 {
 			return code
@@ -281,10 +317,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-cpuprofile file] [-memprofile file]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|modeldiff <target>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-model c11|sc|scatomics] [-cpuprofile file] [-memprofile file]")
 	fmt.Fprintln(w, "  explore/resume flags: -par N -max N -checkpoint file -checkpoint-every dur -verify")
 	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
 	fmt.Fprintln(w, "  fastrun flags: -seed N -max N -time dur -par N; fastbench flags: -seed N -json")
+	fmt.Fprintln(w, "  modeldiff flags: -a model -b model (litmus targets: SB, MP, IRIW; or any benchmark)")
+}
+
+// modelDiffCmd explores target under the -a and -b models and reports
+// the behavior- and failure-set differences. A non-empty diff is the
+// expected outcome, not an error; only unknown targets/models fail.
+func (c *cli) modelDiffCmd(target string) int {
+	a, err := model.Parse(c.diffA)
+	if err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
+	}
+	b, err := model.Parse(c.diffB)
+	if err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
+	}
+	rep, err := harness.RunModelDiff(target, a, b, c.opts())
+	if err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
+	}
+	if c.jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(c.stderr, "encoding report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(c.stdout, string(blob))
+		return 0
+	}
+	fmt.Fprint(c.stdout, rep.Render())
+	return 0
 }
 
 // benchDiff compares two benchmark snapshot files (schema v1 or v2) and
@@ -350,7 +419,7 @@ func (c *cli) fig8() int {
 }
 
 func (c *cli) emitSnapshot(fig7 []harness.Fig7Row, fig8 []harness.Fig8Row) int {
-	blob, err := harness.SnapshotJSON(fig7, fig8)
+	blob, err := harness.SnapshotJSONFor(c.model, fig7, fig8)
 	if err != nil {
 		fmt.Fprintf(c.stderr, "encoding snapshot: %v\n", err)
 		return 1
@@ -525,6 +594,7 @@ func (c *cli) checkpointWriter(path, benchmark string) func(*checker.Checkpoint)
 			Schema:       harness.CheckpointFileSchema,
 			Benchmark:    benchmark,
 			Workers:      c.parallelism(),
+			Model:        string(c.model),
 			NoCache:      c.nocache,
 			NoKernelOpts: c.nokernelopts,
 			State:        cp,
@@ -590,6 +660,10 @@ func (c *cli) exploreCmd(name string) int {
 		cfg.Checkpoint = c.checkpointWriter(c.checkpointPath, b.Name)
 		cfg.CheckpointEvery = c.checkpointEvery
 	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
+	}
 	intr, cleanup := interruptOnSignal()
 	defer cleanup()
 	cfg.Interrupt = intr
@@ -614,6 +688,17 @@ func (c *cli) resumeCmd(path string) int {
 	}
 	c.nocache = cf.NoCache
 	c.nokernelopts = cf.NoKernelOpts
+	// The opt switches are adopted silently (they don't change the
+	// explored space), and so is the model when -model wasn't given. An
+	// explicit -model must match: a frontier is only valid under the
+	// model that produced it.
+	if c.modelSet {
+		if err := cf.ValidateModel(c.model); err != nil {
+			fmt.Fprintln(c.stderr, err)
+			return 1
+		}
+	}
+	c.model = cf.ModelID()
 	b := harness.BenchmarkByName(cf.Benchmark)
 	opts := c.opts()
 	opts.Parallelism = c.parallelism()
@@ -628,6 +713,10 @@ func (c *cli) resumeCmd(path string) int {
 	}
 	cfg.Checkpoint = c.checkpointWriter(rePath, b.Name)
 	cfg.CheckpointEvery = c.checkpointEvery
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
+	}
 	intr, cleanup := interruptOnSignal()
 	defer cleanup()
 	cfg.Interrupt = intr

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestModelDiffCLI: the modeldiff subcommand on SB reports the relaxed
+// store-buffering outcome as c11-only, in both renderings.
+func TestModelDiffCLI(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"modeldiff", "SB"}, &out, &errOut); code != 0 {
+		t.Fatalf("modeldiff SB exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"only c11: r1=0 r2=0", "c11 vs sc"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"modeldiff", "-json", "-a", "c11", "-b", "sc", "SB"}, &out, &errOut); code != 0 {
+		t.Fatalf("modeldiff -json exited %d: %s", code, errOut.String())
+	}
+	var rep harness.ModelDiffReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if rep.OnlyACount < 1 || rep.OnlyBCount != 0 {
+		t.Errorf("unexpected diff counts: %+v", rep)
+	}
+}
+
+// TestModelDiffCLIErrors: unknown targets and models exit 2 with a
+// message naming the valid choices.
+func TestModelDiffCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{"modeldiff"},
+		{"modeldiff", "no-such-target"},
+		{"modeldiff", "-a", "tso", "SB"},
+		{"explore", "-model", "tso", "M&S Queue"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%q) exited %d, want 2: %s", args, code, errOut.String())
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("run(%q) printed nothing to stderr", args)
+		}
+	}
+}
+
+// TestResumeModelMismatchCLI: a checkpoint explored under one model is
+// stamped with it, refuses an explicitly different -model on resume, and
+// resumes cleanly when the flag is omitted (the envelope's model is
+// adopted, like the opt switches).
+func TestResumeModelMismatchCLI(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cp.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"explore", "-par", "2", "-max", "100", "-model", "sc", "-checkpoint", cp, "M&S Queue"}, &out, &errOut); code != 0 {
+		t.Fatalf("explore exited %d: %s", code, errOut.String())
+	}
+	cf, err := harness.ReadCheckpointFile(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Model != "sc" {
+		t.Fatalf("envelope model = %q, want sc", cf.Model)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"resume", "-model", "c11", cp}, &out, &errOut); code == 0 {
+		t.Fatal("resume under a mismatched model exited 0")
+	}
+	if msg := errOut.String(); !strings.Contains(msg, `explored under memory model "sc"`) || !strings.Contains(msg, `"c11"`) {
+		t.Errorf("mismatch error should name both models:\n%s", msg)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"resume", "-par", "2", cp}, &out, &errOut); code != 0 {
+		t.Fatalf("flagless resume exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "exhausted") {
+		t.Errorf("adopted-model resume did not exhaust:\n%s", out.String())
+	}
+}

@@ -1,0 +1,131 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checker/model"
+	"repro/internal/memmodel"
+)
+
+// TestConfigValidate pins the rejection of configurations that earlier
+// versions silently mishandled: a negative StoreBound was clamped up to 2
+// as if it were a small bound, and FastMode quietly ignored checkpoint,
+// resume, and random-walk settings instead of refusing them.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error, "" = valid
+	}{
+		{"zero", Config{}, ""},
+		{"model-c11", Config{Model: model.C11}, ""},
+		{"model-sc", Config{Model: model.SC}, ""},
+		{"model-scatomics", Config{Model: model.SCAtomics}, ""},
+		{"model-unknown", Config{Model: "tso"}, "unknown memory model"},
+		{"negative-store-bound", Config{StoreBound: -1}, "StoreBound"},
+		{"store-bound-one-clamps", Config{StoreBound: 1}, ""}, // documented min-clamp, not an error
+		{"fastmode-plain", Config{FastMode: true}, ""},
+		{"fastmode-checkpoint", Config{FastMode: true, Checkpoint: func(*Checkpoint) {}}, "cannot checkpoint"},
+		{"fastmode-checkpoint-every", Config{FastMode: true, CheckpointEvery: 1}, "cannot checkpoint"},
+		{"fastmode-resume", Config{FastMode: true, ResumeFrom: &Checkpoint{}}, "cannot resume"},
+		{"fastmode-randomwalk", Config{FastMode: true, RandomWalk: 10}, "mutually exclusive"},
+		{"randomwalk-resume", Config{RandomWalk: 10, ResumeFrom: &Checkpoint{}}, "cannot resume"},
+		{"randomwalk-checkpoint-ignored", Config{RandomWalk: 10, Checkpoint: func(*Checkpoint) {}}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExplorePanicsOnInvalidConfig: Explore treats an invalid Config like
+// an invalid checkpoint — a caller bug, reported by panic.
+func TestExplorePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Explore accepted FastMode + RandomWalk without panicking")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "mutually exclusive") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	Explore(Config{FastMode: true, RandomWalk: 5}, func(root *Thread) {})
+}
+
+// routingProg is a tiny exhaustible program (relaxed SB) for the routing
+// tests: sequential DFS exhausts it in well under 100 executions, so a
+// bounded sampling engine (Executions == budget, Exhausted == false) is
+// distinguishable from the DFS engines (Exhausted == true).
+func routingProg(root *Thread) {
+	x := root.NewAtomicInit("x", 0)
+	y := root.NewAtomicInit("y", 0)
+	a := root.Spawn("a", func(tt *Thread) {
+		x.Store(tt, memmodel.Relaxed, 1)
+		_ = y.Load(tt, memmodel.Relaxed)
+	})
+	b := root.Spawn("b", func(tt *Thread) {
+		y.Store(tt, memmodel.Relaxed, 1)
+		_ = x.Load(tt, memmodel.Relaxed)
+	})
+	root.Join(a)
+	root.Join(b)
+}
+
+// TestEngineRoutingPrecedence pins the documented routing table
+// (FastMode > RandomWalk > work-stealing engine > sequential DFS) through
+// observable engine behavior. The FastMode-vs-RandomWalk edge needs no
+// routing pin anymore: Validate rejects the combination outright.
+func TestEngineRoutingPrecedence(t *testing.T) {
+	// Sequential DFS baseline: exhausts.
+	seq := Explore(Config{}, routingProg)
+	if !seq.Exhausted {
+		t.Fatalf("sequential DFS did not exhaust: %v", seq)
+	}
+	if seq.Executions >= 100 {
+		t.Fatalf("routing program too large for the routing probes: %d executions", seq.Executions)
+	}
+
+	// FastMode outranks the work-stealing engine: even with Parallelism
+	// set, the run is a fixed sampling budget, never an exhausting DFS.
+	fast := Explore(Config{FastMode: true, MaxExecutions: 100, Parallelism: 4, Seed: 3}, routingProg)
+	if fast.Exhausted || fast.Executions != 100 {
+		t.Errorf("FastMode + Parallelism routed wrong: exhausted=%v executions=%d, want false/100",
+			fast.Exhausted, fast.Executions)
+	}
+
+	// RandomWalk outranks the work-stealing engine, and its documented-
+	// ignored Checkpoint stays ignored (walks have no frontier).
+	cpCalls := 0
+	walk := Explore(Config{RandomWalk: 120, Parallelism: 4, Seed: 3, Checkpoint: func(*Checkpoint) { cpCalls++ }}, routingProg)
+	if walk.Exhausted || walk.Executions != 120 {
+		t.Errorf("RandomWalk + Parallelism routed wrong: exhausted=%v executions=%d, want false/120",
+			walk.Exhausted, walk.Executions)
+	}
+	if cpCalls != 0 {
+		t.Errorf("RandomWalk invoked the Checkpoint callback %d times; walks do not checkpoint", cpCalls)
+	}
+
+	// A checkpoint request routes Parallelism <= 1 through the
+	// work-stealing engine (the callback fires at least once, for the
+	// final snapshot) and stays bit-identical to sequential DFS.
+	cpCalls = 0
+	eng := Explore(Config{Checkpoint: func(*Checkpoint) { cpCalls++ }}, routingProg)
+	if cpCalls == 0 {
+		t.Error("work-stealing engine never delivered the final checkpoint snapshot")
+	}
+	if !eng.Exhausted || eng.Executions != seq.Executions || eng.Feasible != seq.Feasible || eng.Pruned != seq.Pruned {
+		t.Errorf("engine result differs from sequential DFS:\n engine:     %v\n sequential: %v", eng, seq)
+	}
+}

@@ -17,11 +17,21 @@ package checker
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
+
+	"repro/internal/checker/model"
 )
 
 // Config controls an exploration.
 type Config struct {
+	// Model selects the consistency model the exploration runs under
+	// (default model.C11). Every engine honors it — exhaustive DFS, the
+	// work-stealing engine, RandomWalk, and FastMode — because the rules
+	// live behind the per-System consistency backend, not in the engines.
+	// An unknown model is a configuration error (Validate reports it;
+	// Explore panics on it).
+	Model model.ID
 	// MaxExecutions bounds the number of executions explored
 	// (0 = exhaustive). It applies to both DFS and RandomWalk mode.
 	MaxExecutions int
@@ -194,6 +204,44 @@ type Config struct {
 	// by every worker of this exploration. Explore installs it on its
 	// private withDefaults copy.
 	progress *progressTracker
+	// backend is the resolved consistency backend for Model, installed by
+	// withDefaults and read by every System of the exploration.
+	backend consistency
+}
+
+// Validate reports the first configuration error, or nil. Explore panics
+// on an invalid Config (misconfiguration is a caller bug, like an invalid
+// checkpoint); callers that surface errors to users — the CLI, the
+// harness — should Validate first.
+//
+// The checks reject combinations that earlier versions silently ignored
+// or mishandled: a negative StoreBound fell through the minimum clamp to
+// 2 as if it were a small bound, and FastMode quietly dropped
+// Checkpoint/ResumeFrom/RandomWalk instead of refusing them (FastMode
+// samples independent runs — there is no frontier to checkpoint and no
+// walk bookkeeping; the engines are mutually exclusive by the routing
+// precedence documented on RandomWalk).
+func (c *Config) Validate() error {
+	if !c.Model.OrDefault().Valid() {
+		return fmt.Errorf("checker: unknown memory model %q (valid: %s)", c.Model, strings.Join(model.Names(), ", "))
+	}
+	if c.StoreBound < 0 {
+		return fmt.Errorf("checker: StoreBound must be >= 0, got %d", c.StoreBound)
+	}
+	if c.FastMode {
+		switch {
+		case c.Checkpoint != nil || c.CheckpointEvery > 0:
+			return fmt.Errorf("checker: FastMode cannot checkpoint — runs are independent samples with no decision frontier; rerun the missing budget instead")
+		case c.ResumeFrom != nil:
+			return fmt.Errorf("checker: FastMode cannot resume a checkpoint — checkpoints hold a DFS frontier, which FastMode does not explore")
+		case c.RandomWalk > 0:
+			return fmt.Errorf("checker: FastMode and RandomWalk are mutually exclusive engines — set MaxExecutions to size the FastMode run budget")
+		}
+	}
+	if c.RandomWalk > 0 && c.ResumeFrom != nil {
+		return fmt.Errorf("checker: RandomWalk cannot resume a checkpoint — checkpoints hold a DFS frontier; rerun the missing walk count instead")
+	}
+	return nil
 }
 
 // wantsEngine reports whether checkpoint/resume/interrupt plumbing
@@ -228,6 +276,7 @@ func (c *Config) withDefaults() *Config {
 	if out.StoreBound < 2 {
 		out.StoreBound = 2 // the newest store must survive eviction
 	}
+	out.backend = backendFor(out.Model)
 	return &out
 }
 
@@ -719,6 +768,9 @@ func newDFSChooser(c *Config) *dfsChooser {
 // Explore enumerates executions of root under cfg and returns the
 // aggregated result.
 func Explore(cfg Config, root func(*Thread)) *Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	c := cfg.withDefaults()
 	if c.Progress != nil {
 		c.progress = newProgressTracker(c.Progress, c.ProgressInterval, c.MaxExecutions)

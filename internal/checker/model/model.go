@@ -1,0 +1,122 @@
+// Package model names the consistency models the checker can explore
+// under and documents the contract a consistency backend must satisfy.
+//
+// The checker is parametric in the choice of memory model (the GenMC
+// architectural lesson): the rules that decide which stores a load may
+// observe, which synchronization edges an access creates, how seq_cst
+// ordering constrains visibility, and when two accesses race are owned
+// by a per-model backend behind one seam, not welded into the execution
+// kernel. This package is the identity layer of that seam — the names
+// the CLI, the checkpoint envelopes, and the bench snapshots use — kept
+// free of checker internals so every layer above the checker can import
+// it without a dependency cycle.
+//
+// # Backend contract
+//
+// A backend supplies four rule families (the seam carved out of the
+// execution kernel):
+//
+//   - visible-store computation: for a load by thread t at location l
+//     with order o, the lowest modification-order index the load may
+//     read ("the floor"; every store at or above it is a reads-from
+//     candidate) and whether any readable store is published to t;
+//   - synchronization edges: the release clock a new store carries and
+//     the clock merge performed when a load reads a store;
+//   - SC assignment: which actions join the seq_cst total order S;
+//   - race predicate: whether an access by t races with a recorded
+//     access (tid, tseq) of the same location.
+//
+// Every backend must additionally guarantee, for the kernel
+// optimizations to stay sound (see DESIGN.md for the full argument):
+//
+//   - determinism: the floor is a pure function of the execution state
+//     at the load, never of the choice taken there (frozen-prefix
+//     replay recomputes identical floors, which replay pinning relies
+//     on);
+//   - monotonicity: a thread's floor for a location never decreases as
+//     the execution extends (load compaction discards read-read
+//     coherence records dominated under this assumption);
+//   - cache contract: a backend either computes floors in O(1) (and
+//     bypasses the per-(thread, location) floor cache), or its floors
+//     are invalidated exactly by the (clockEpoch, storeEpoch, scIdx)
+//     key the cache uses.
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID names a consistency model. The zero value is not a valid model;
+// use Default for the checker's default.
+type ID string
+
+const (
+	// C11 is the C/C++11 memory model as implemented by CDSChecker:
+	// per-location coherence, release/acquire synchronization, release
+	// sequences, fences, and the seq_cst total order S — stale reads
+	// included, subject to those rules.
+	C11 ID = "c11"
+	// SC is plain sequential consistency (interleaving semantics):
+	// every load reads the newest store, every atomic access carries
+	// full synchronization, and no stale-read branching occurs. The
+	// exploration space collapses to thread interleavings.
+	SC ID = "sc"
+	// SCAtomics is the strengthened-SC-atomics model of Batty et al.,
+	// "Overhauling SC Atomics in C11 and OpenCL": seq_cst accesses get
+	// interleaving semantics (a seq_cst load reads the newest store),
+	// layered over the unmodified C/C++11 rules for relaxed, acquire,
+	// and release accesses.
+	SCAtomics ID = "scatomics"
+)
+
+// Default is the model explored when none is configured.
+func Default() ID { return C11 }
+
+// ids lists every valid model in presentation order.
+var ids = []ID{C11, SC, SCAtomics}
+
+// Names returns every valid model name in presentation order.
+func Names() []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// Valid reports whether id names a known model.
+func (id ID) Valid() bool {
+	for _, k := range ids {
+		if id == k {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns the model name.
+func (id ID) String() string { return string(id) }
+
+// Parse resolves a user-supplied model name. The empty string resolves
+// to Default, so optional flags and absent JSON fields need no special
+// casing at call sites.
+func Parse(s string) (ID, error) {
+	if s == "" {
+		return Default(), nil
+	}
+	id := ID(s)
+	if !id.Valid() {
+		return "", fmt.Errorf("unknown memory model %q (valid: %s)", s, strings.Join(Names(), ", "))
+	}
+	return id, nil
+}
+
+// OrDefault maps the zero value to Default and leaves valid IDs alone,
+// for fields deserialized from files that predate model identity.
+func (id ID) OrDefault() ID {
+	if id == "" {
+		return Default()
+	}
+	return id
+}

@@ -1,0 +1,42 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	for _, name := range Names() {
+		id, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if string(id) != name || !id.Valid() {
+			t.Fatalf("Parse(%q) = %q, valid=%v", name, id, id.Valid())
+		}
+	}
+	if id, err := Parse(""); err != nil || id != Default() {
+		t.Fatalf("Parse(\"\") = %q, %v; want default %q", id, err, Default())
+	}
+	if _, err := Parse("tso"); err == nil || !strings.Contains(err.Error(), "c11") {
+		t.Fatalf("Parse(\"tso\") = %v; want an error listing valid models", err)
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if got := ID("").OrDefault(); got != C11 {
+		t.Fatalf("zero OrDefault = %q, want c11", got)
+	}
+	if got := SC.OrDefault(); got != SC {
+		t.Fatalf("SC OrDefault = %q, want sc", got)
+	}
+}
+
+func TestDefaultIsValid(t *testing.T) {
+	if !Default().Valid() {
+		t.Fatalf("default model %q not valid", Default())
+	}
+	if ID("").Valid() {
+		t.Fatal("zero ID must not be valid")
+	}
+}

@@ -494,19 +494,7 @@ func (s *System) bumpStep() {
 // common case in spin loops and traversals — hit the cache and skip the
 // scans entirely.
 func (s *System) visibleFloor(t *Thread, loc *location, ord memmodel.MemOrder) (floor int, published bool) {
-	// Effective SC position of the reader. For an SC load it is s.scCount
-	// (all existing SC actions precede it), which moves with every SC
-	// action anywhere; for a load after an SC fence it is the fence's
-	// fixed index, and scFloors entries appended later carry strictly
-	// larger scIdx (SC indices are handed out in increasing order), so
-	// the contributing set {f : f.scIdx < scIdx} is frozen — an exact
-	// match on scIdx keeps the cached floor sound in both cases.
-	scIdx := -1
-	if ord.IsSeqCst() {
-		scIdx = s.scCount
-	} else if t.lastSCFence >= 0 {
-		scIdx = t.lastSCFence
-	}
+	scIdx := s.effectiveSCIdx(t, ord)
 	if s.cfg.DisableFloorCache {
 		return s.visibleFloorScan(t, loc, scIdx)
 	}
@@ -532,6 +520,24 @@ func (s *System) visibleFloor(t *Thread, loc *location, ord memmodel.MemOrder) (
 		valid:      true,
 	}
 	return floor, published
+}
+
+// effectiveSCIdx is the reader's position in the seq_cst order S for
+// floor purposes. For an SC load it is s.scCount (all existing SC actions
+// precede it), which moves with every SC action anywhere; for a load
+// after an SC fence it is the fence's fixed index, and scFloors entries
+// appended later carry strictly larger scIdx (SC indices are handed out
+// in increasing order), so the contributing set {f : f.scIdx < scIdx} is
+// frozen — an exact match on scIdx keeps a cached floor sound in both
+// cases.
+func (s *System) effectiveSCIdx(t *Thread, ord memmodel.MemOrder) int {
+	if ord.IsSeqCst() {
+		return s.scCount
+	}
+	if t.lastSCFence >= 0 {
+		return t.lastSCFence
+	}
+	return -1
 }
 
 // noteOwnLoad raises t's cached floor for loc to idx after t read the
@@ -736,8 +742,9 @@ func (s *System) maybeEvict(loc *location) {
 // entry per thread is exact). kind is the action kind recorded for the
 // failure report; what/other phrase the message.
 func (s *System) checkMixed(t *Thread, loc *location, seqs []uint32, kind memmodel.Kind, what, other string) {
+	rules := s.rules()
 	for tid, seq := range seqs {
-		if seq != 0 && tid != t.id && !t.clock.Contains(tid, seq) {
+		if seq != 0 && tid != t.id && rules.races(t, tid, seq) {
 			t.tseq++
 			t.clock.Set(t.id, t.tseq)
 			s.record(t, kind, memmodel.Relaxed, loc, 0)
@@ -766,13 +773,7 @@ func (s *System) checkPublished(t *Thread, loc *location, published bool, what s
 // replay really is deterministic. A mismatch is an internal invariant
 // violation, never a property of the checked program.
 func (s *System) validatePin(t *Thread, loc *location, ord memmodel.MemOrder, rec *floorRec) {
-	scIdx := -1
-	if ord.IsSeqCst() {
-		scIdx = s.scCount
-	} else if t.lastSCFence >= 0 {
-		scIdx = t.lastSCFence
-	}
-	floor, published := s.visibleFloorScan(t, loc, scIdx)
+	floor, published := s.rules().scanFloor(s, t, loc, ord)
 	switch rec.kind {
 	case 'r':
 		n := loc.moNext() - floor
@@ -826,7 +827,10 @@ func (s *System) applyReadSync(t *Thread, ord memmodel.MemOrder, st storeRec) {
 	}
 }
 
-func (s *System) assignSC(act *memmodel.Action, ord memmodel.MemOrder) {
+// assignSCIndex is the C/C++11 SC-assignment rule: seq_cst-ordered
+// actions join the total order S in execution order. Backends call it
+// through consistency.assignSC.
+func (s *System) assignSCIndex(act *memmodel.Action, ord memmodel.MemOrder) {
 	if ord.IsSeqCst() {
 		act.SCIndex = s.scCount
 		s.scCount++
@@ -859,7 +863,7 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 			s.failf(FailUninitLoad, "atomic load of %s before any store", loc.name)
 		}
 		var published bool
-		floor, published = s.visibleFloor(t, loc, ord)
+		floor, published = s.rules().loadFloor(s, t, loc, ord)
 		s.checkPublished(t, loc, published, "atomic load")
 		n = loc.moNext() - floor
 		s.chooser.noteFloor(floorRec{kind: 'r', floor: floor, published: published, n: n})
@@ -880,10 +884,10 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	s.applyReadSync(t, ord, st)
+	s.rules().readSync(s, t, ord, st)
 	act := s.record(t, memmodel.KindAtomicLoad, ord, loc, st.act.Value)
 	act.RF = st.act
-	s.assignSC(act, ord)
+	s.rules().assignSC(s, act, ord)
 	s.addLoad(t, loc, idx)
 	s.noteOwnLoad(t, loc, idx)
 	setSeq(&loc.readSeq, t.id, t.tseq)
@@ -915,14 +919,14 @@ func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memm
 	s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindAtomicStore, "atomic store", "non-atomic load")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	sync := s.releaseClockFor(t, ord, rfSync)
+	sync := s.rules().storeSync(s, t, ord, rfSync)
 	act := s.record(t, memmodel.KindAtomicStore, ord, loc, v)
 	moIdx := loc.moNext()
 	act.MOIndex = moIdx
 	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
 	loc.setLastStoreByThread(t.id, moIdx)
 	setSeq(&loc.writeSeq, t.id, t.tseq)
-	s.assignSC(act, ord)
+	s.rules().assignSC(s, act, ord)
 	if act.SCIndex >= 0 {
 		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
 	}
@@ -953,7 +957,7 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 			s.record(t, memmodel.KindAtomicRMW, ord, loc, 0)
 			s.failf(FailUninitLoad, "atomic RMW of %s before any store", loc.name)
 		}
-		_, published := s.visibleFloor(t, loc, ord)
+		_, published := s.rules().loadFloor(s, t, loc, ord)
 		s.checkPublished(t, loc, published, "atomic RMW")
 		s.chooser.noteFloor(floorRec{kind: 'm', published: published})
 	}
@@ -963,11 +967,11 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	s.applyReadSync(t, ord, last)
+	s.rules().readSync(s, t, ord, last)
 	s.addLoad(t, loc, lastIdx)
 	setSeq(&loc.readSeq, t.id, t.tseq)
 
-	sync := s.releaseClockFor(t, ord, last.sync)
+	sync := s.rules().storeSync(s, t, ord, last.sync)
 	act := s.record(t, memmodel.KindAtomicRMW, ord, loc, f(old))
 	act.RF = last.act
 	moIdx := loc.moNext()
@@ -975,7 +979,7 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 	loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
 	loc.setLastStoreByThread(t.id, moIdx)
 	setSeq(&loc.writeSeq, t.id, t.tseq)
-	s.assignSC(act, ord)
+	s.rules().assignSC(s, act, ord)
 	if act.SCIndex >= 0 {
 		loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
 	}
@@ -1014,7 +1018,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 			s.failf(FailUninitLoad, "CAS of %s before any store", loc.name)
 		}
 		canSucceed := loc.store(loc.lastStoreIdx()).act.Value == expected
-		floor, published := s.visibleFloor(t, loc, failOrd)
+		floor, published := s.rules().loadFloor(s, t, loc, failOrd)
 		s.checkPublished(t, loc, published, "CAS")
 		n := 0
 		for i := floor; i < loc.moNext(); i++ {
@@ -1049,10 +1053,10 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		last := *loc.store(lastIdx)
 		t.tseq++
 		t.clock.Set(t.id, t.tseq)
-		s.applyReadSync(t, succOrd, last)
+		s.rules().readSync(s, t, succOrd, last)
 		s.addLoad(t, loc, lastIdx)
 		setSeq(&loc.readSeq, t.id, t.tseq)
-		sync := s.releaseClockFor(t, succOrd, last.sync)
+		sync := s.rules().storeSync(s, t, succOrd, last.sync)
 		act := s.record(t, memmodel.KindAtomicRMW, succOrd, loc, desired)
 		act.RF = last.act
 		moIdx := loc.moNext()
@@ -1060,7 +1064,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		loc.stores = append(loc.stores, storeRec{act: act, sync: sync})
 		loc.setLastStoreByThread(t.id, moIdx)
 		setSeq(&loc.writeSeq, t.id, t.tseq)
-		s.assignSC(act, succOrd)
+		s.rules().assignSC(s, act, succOrd)
 		if act.SCIndex >= 0 {
 			loc.scFloors = append(loc.scFloors, scFloor{scIdx: act.SCIndex, moIdx: moIdx})
 		}
@@ -1096,10 +1100,10 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 	st := *loc.store(idx)
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
-	s.applyReadSync(t, failOrd, st)
+	s.rules().readSync(s, t, failOrd, st)
 	act := s.record(t, memmodel.KindAtomicLoad, failOrd, loc, st.act.Value)
 	act.RF = st.act
-	s.assignSC(act, failOrd)
+	s.rules().assignSC(s, act, failOrd)
 	s.addLoad(t, loc, idx)
 	s.noteOwnLoad(t, loc, idx)
 	setSeq(&loc.readSeq, t.id, t.tseq)
@@ -1110,13 +1114,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 
 // validateCASPin is validatePin for kind 'c'.
 func (s *System) validateCASPin(t *Thread, loc *location, expected memmodel.Value, failOrd memmodel.MemOrder, rec *floorRec) {
-	scIdx := -1
-	if failOrd.IsSeqCst() {
-		scIdx = s.scCount
-	} else if t.lastSCFence >= 0 {
-		scIdx = t.lastSCFence
-	}
-	floor, published := s.visibleFloorScan(t, loc, scIdx)
+	floor, published := s.rules().scanFloor(s, t, loc, failOrd)
 	canSucceed := loc.moNext() > 0 && loc.store(loc.lastStoreIdx()).act.Value == expected
 	n := 0
 	for i := floor; i < loc.moNext(); i++ {
@@ -1152,7 +1150,7 @@ func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
 		t.relFence = s.snap(t.clock)
 	}
 	act := s.record(t, memmodel.KindFence, ord, nil, 0)
-	s.assignSC(act, ord)
+	s.rules().assignSC(s, act, ord)
 	s.sleep.wake(pendSig{class: sigFence, loc: -1, sc: ord.IsSeqCst()})
 	if act.SCIndex >= 0 {
 		t.lastSCFence = act.SCIndex

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/checker"
+	"repro/internal/checker/model"
 )
 
 // This file wraps the checker's exploration checkpoint in an on-disk
@@ -51,6 +52,13 @@ type CheckpointFile struct {
 	// informational only, a resume may use any worker count and still
 	// produce the identical Result.
 	Workers int `json:"workers,omitempty"`
+	// Model names the consistency model the frontier was explored under.
+	// Unlike the opt switches it changes the explored space itself, so a
+	// resume under a different model would silently mix incompatible
+	// explorations — ValidateModel refuses it. Files written before model
+	// identity existed omit the field; absence means c11 (the only model
+	// that existed when v1 envelopes were introduced).
+	Model string `json:"model,omitempty"`
 	// NoCache / NoKernelOpts record the spec-cache and kernel-opt
 	// switches. They don't change the explored space's Results, but
 	// NoCache changes the spec_cache_* counters, so a resume must match.
@@ -58,6 +66,25 @@ type CheckpointFile struct {
 	NoKernelOpts bool `json:"nokernelopts,omitempty"`
 	// State is the checker's frontier snapshot.
 	State *checker.Checkpoint `json:"state"`
+}
+
+// ModelID resolves the envelope's model with v1 back-compat: an absent
+// field means the checkpoint predates model identity and was necessarily
+// explored under c11.
+func (cf *CheckpointFile) ModelID() model.ID {
+	return model.ID(cf.Model).OrDefault()
+}
+
+// ValidateModel checks that a resume requested under the given model can
+// legally continue this checkpoint's frontier. It returns a nil error
+// only when the models agree; the error spells out both sides, since the
+// usual cause is an absent or mistyped -model flag.
+func (cf *CheckpointFile) ValidateModel(requested model.ID) error {
+	if requested.OrDefault() != cf.ModelID() {
+		return fmt.Errorf("checkpoint was explored under memory model %q but resume requested %q: a frontier is only valid under the model that produced it (re-explore from scratch to switch models)",
+			cf.ModelID(), requested.OrDefault())
+	}
+	return nil
 }
 
 // WriteCheckpointFile atomically writes the envelope to path: the blob
@@ -112,6 +139,9 @@ func ReadCheckpointFile(path string) (*CheckpointFile, error) {
 	}
 	if BenchmarkByName(cf.Benchmark) == nil {
 		return nil, fmt.Errorf("%s: unknown benchmark %q", path, cf.Benchmark)
+	}
+	if _, err := model.Parse(cf.Model); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &cf, nil
 }

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/checker/model"
+)
+
+// captureCheckpoint runs the SPSC workload far enough to cut a valid
+// frontier snapshot for the envelope tests.
+func captureCheckpoint(t *testing.T) *checker.Checkpoint {
+	t.Helper()
+	var cp *checker.Checkpoint
+	b := BenchmarkByName("SPSC Queue")
+	cfg := checker.Config{Checkpoint: func(c *checker.Checkpoint) { cp = c }}
+	exploreBench(b, cfg)
+	if cp == nil {
+		t.Fatal("exploration delivered no checkpoint")
+	}
+	return cp
+}
+
+// TestCheckpointModelRoundTrip: the envelope records the model and a
+// resume under the same model (spelled or defaulted) is accepted.
+func TestCheckpointModelRoundTrip(t *testing.T) {
+	cp := captureCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cf := &CheckpointFile{
+		Schema:    CheckpointFileSchema,
+		Benchmark: "SPSC Queue",
+		Model:     string(model.SC),
+		State:     cp,
+	}
+	if err := WriteCheckpointFile(path, cf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelID() != model.SC {
+		t.Fatalf("ModelID = %q, want sc", got.ModelID())
+	}
+	if err := got.ValidateModel(model.SC); err != nil {
+		t.Errorf("same-model resume rejected: %v", err)
+	}
+}
+
+// TestCheckpointModelMismatch: resuming a frontier under a different
+// model fails with an error naming both models.
+func TestCheckpointModelMismatch(t *testing.T) {
+	cf := &CheckpointFile{Model: string(model.SC)}
+	err := cf.ValidateModel(model.C11)
+	if err == nil {
+		t.Fatal("cross-model resume accepted")
+	}
+	for _, want := range []string{`"sc"`, `"c11"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("mismatch error should name %s, got: %v", want, err)
+		}
+	}
+	// The other direction too: a c11 frontier refused under sc.
+	if err := (&CheckpointFile{}).ValidateModel(model.SC); err == nil {
+		t.Error("c11 frontier accepted under sc")
+	}
+}
+
+// TestCheckpointModelBackCompat: envelopes written before model identity
+// existed omit the field entirely; they must read back as c11 and resume
+// under c11 (spelled or defaulted).
+func TestCheckpointModelBackCompat(t *testing.T) {
+	cp := captureCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := WriteCheckpointFile(path, &CheckpointFile{
+		Schema:    CheckpointFileSchema,
+		Benchmark: "SPSC Queue",
+		State:     cp,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The zero model must serialize to an absent field (omitempty), i.e.
+	// new writers still produce v1-readable envelopes.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := fields["model"]; present {
+		t.Error("zero model serialized an explicit field; v1 envelopes must stay field-free")
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelID() != model.C11 {
+		t.Fatalf("absent model field resolved to %q, want c11", got.ModelID())
+	}
+	if err := got.ValidateModel(""); err != nil {
+		t.Errorf("defaulted resume of a v1 envelope rejected: %v", err)
+	}
+	if err := got.ValidateModel(model.C11); err != nil {
+		t.Errorf("explicit c11 resume of a v1 envelope rejected: %v", err)
+	}
+	if err := got.ValidateModel(model.SCAtomics); err == nil {
+		t.Error("scatomics resume of a c11 envelope accepted")
+	}
+}
+
+// TestCheckpointModelGarbage: an envelope naming an unknown model is
+// rejected at read time, before any resume logic runs.
+func TestCheckpointModelGarbage(t *testing.T) {
+	cp := captureCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := WriteCheckpointFile(path, &CheckpointFile{
+		Schema:    CheckpointFileSchema,
+		Benchmark: "SPSC Queue",
+		Model:     "tso",
+		State:     cp,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil || !strings.Contains(err.Error(), "unknown memory model") {
+		t.Errorf("garbage model accepted at read time: %v", err)
+	}
+}

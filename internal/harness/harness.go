@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/checker/model"
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/memmodel"
@@ -33,6 +34,10 @@ type Options struct {
 	// which parallelizes across independent work items (Figure 8 trials,
 	// Figure 7 rows) rather than within one exploration.
 	Parallelism int
+	// Model selects the consistency model for every exploration the
+	// harness runs (zero value = c11). The paper's numbers are C/C++11
+	// numbers; the other models exist for behavior diffing (modeldiff).
+	Model model.ID
 	// Progress, when set, receives periodic exploration snapshots labeled
 	// with the benchmark name (the cdsspec -progress flag feeds on it).
 	// Rows may explore concurrently, so the callback must be safe for
@@ -117,7 +122,7 @@ func (o Options) workerCount() int {
 // wiring the name-labeled progress callback when requested. The cdsspec
 // CLI uses it for one-off explorations that bypass the Run* helpers.
 func (o Options) ExplorerConfig(name string) checker.Config {
-	cfg := checker.Config{ProgressInterval: o.ProgressInterval, Parallelism: o.Parallelism}
+	cfg := checker.Config{ProgressInterval: o.ProgressInterval, Parallelism: o.Parallelism, Model: o.Model}
 	if o.Progress != nil {
 		cfg.Progress = func(p checker.Progress) { o.Progress(name, p) }
 	}
@@ -422,10 +427,15 @@ func FormatFig8(rows []Fig8Row) string {
 // the payload, so two runs of the same tree produce comparable blobs.
 type BenchSnapshot struct {
 	// Schema versions the blob layout.
-	Schema string         `json:"schema"`
-	Fig7   []Fig7Row      `json:"fig7,omitempty"`
-	Fig8   []Fig8Row      `json:"fig8,omitempty"`
-	Fuzz   []fuzz.Summary `json:"fuzz,omitempty"`
+	Schema string `json:"schema"`
+	// Model names the consistency model the rows were measured under.
+	// Absent in blobs written before model identity existed, which were
+	// necessarily c11 — a diff of rows across different models is
+	// meaningless (the explored spaces differ), so DiffSnapshots warns.
+	Model string         `json:"model,omitempty"`
+	Fig7  []Fig7Row      `json:"fig7,omitempty"`
+	Fig8  []Fig8Row      `json:"fig8,omitempty"`
+	Fuzz  []fuzz.Summary `json:"fuzz,omitempty"`
 }
 
 // SnapshotSchema identifies the current BenchSnapshot layout. v3 added
@@ -443,9 +453,22 @@ const SnapshotSchemaV2 = "cdsspec-bench/v2"
 // ReadSnapshot so CI can diff against archived artifacts.
 const SnapshotSchemaV1 = "cdsspec-bench/v1"
 
-// SnapshotJSON renders the measured rows as an indented JSON snapshot.
+// SnapshotJSON renders the measured rows as an indented JSON snapshot
+// under the default (c11) model.
 func SnapshotJSON(fig7 []Fig7Row, fig8 []Fig8Row) ([]byte, error) {
-	return json.MarshalIndent(&BenchSnapshot{Schema: SnapshotSchema, Fig7: fig7, Fig8: fig8}, "", "  ")
+	return SnapshotJSONFor(model.Default(), fig7, fig8)
+}
+
+// SnapshotJSONFor is SnapshotJSON with the measuring model recorded in
+// the blob, so archived artifacts from non-c11 runs are never silently
+// diffed against c11 baselines.
+func SnapshotJSONFor(id model.ID, fig7 []Fig7Row, fig8 []Fig8Row) ([]byte, error) {
+	return json.MarshalIndent(&BenchSnapshot{
+		Schema: SnapshotSchema,
+		Model:  id.OrDefault().String(),
+		Fig7:   fig7,
+		Fig8:   fig8,
+	}, "", "  ")
 }
 
 // ReadSnapshot decodes a BenchSnapshot produced by this or an earlier
@@ -473,6 +496,9 @@ func ReadSnapshot(data []byte) (*BenchSnapshot, error) {
 // are reported as added/removed.
 func DiffSnapshots(prev, curr *BenchSnapshot) string {
 	var b strings.Builder
+	if pm, cm := model.ID(prev.Model).OrDefault(), model.ID(curr.Model).OrDefault(); pm != cm {
+		fmt.Fprintf(&b, "WARNING: snapshots measured under different memory models (%s vs %s); the explored spaces are not comparable\n", pm, cm)
+	}
 	fmt.Fprintf(&b, "%-18s %14s %14s %8s %8s %7s %7s\n",
 		"Benchmark", "execs(old)", "execs(new)", "t(old)", "t(new)", "hit(old)", "hit(new)")
 	oldRows := map[string]Fig7Row{}

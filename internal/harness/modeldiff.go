@@ -1,0 +1,351 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/checker"
+	"repro/internal/checker/model"
+	"repro/internal/core"
+	"repro/internal/memmodel"
+)
+
+// This file implements `cdsspec modeldiff`: run the same target under two
+// consistency models and report how the observable behavior sets differ.
+// Two kinds of target are supported:
+//
+//   - litmus tests (LitmusTests): tiny programs whose behavior key is the
+//     final-register outcome string, the classical way weak-memory
+//     results are presented (SB's "r1=0 r2=0" exists under c11, not
+//     under sc);
+//   - Figure 7 benchmarks (Benchmarks): the behavior key is the
+//     spec-layer canonical fingerprint (Monitor.Fingerprint) — two
+//     executions with equal fingerprints are indistinguishable to the
+//     checking pipeline, so the fingerprint set is exactly the set of
+//     spec-visible behaviors a model admits.
+//
+// Both kinds also diff the failure sets (deduplicated "kind: message"
+// signatures), which is how the §6.4.1 seeded bugs show up: the
+// weakened-release data race fires under c11 and vanishes under sc.
+
+// LitmusTest is one named litmus program for model diffing. The program
+// reports one outcome string per execution through the record callback;
+// record is safe for concurrent use, so litmus legs may run under any
+// Parallelism.
+type LitmusTest struct {
+	// Name is the CLI-visible target name.
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Prog builds the program around an outcome recorder.
+	Prog func(record func(outcome string)) func(*checker.Thread)
+}
+
+// LitmusTests returns the litmus targets for modeldiff, the classical
+// weak-memory trio at the orders that separate the models.
+func LitmusTests() []*LitmusTest {
+	return []*LitmusTest{
+		{
+			Name: "SB",
+			Desc: "store buffering, relaxed (r1=0 r2=0 is c11-only)",
+			Prog: func(record func(string)) func(*checker.Thread) {
+				return func(root *checker.Thread) {
+					x := root.NewAtomicInit("x", 0)
+					y := root.NewAtomicInit("y", 0)
+					var r1, r2 memmodel.Value
+					a := root.Spawn("a", func(tt *checker.Thread) {
+						x.Store(tt, memmodel.Relaxed, 1)
+						r1 = y.Load(tt, memmodel.Relaxed)
+					})
+					b := root.Spawn("b", func(tt *checker.Thread) {
+						y.Store(tt, memmodel.Relaxed, 1)
+						r2 = x.Load(tt, memmodel.Relaxed)
+					})
+					root.Join(a)
+					root.Join(b)
+					record(fmt.Sprintf("r1=%d r2=%d", r1, r2))
+				}
+			},
+		},
+		{
+			Name: "MP",
+			Desc: "message passing, relaxed (f=1 v=0 is c11-only)",
+			Prog: func(record func(string)) func(*checker.Thread) {
+				return func(root *checker.Thread) {
+					v := root.NewAtomicInit("v", 0)
+					f := root.NewAtomicInit("f", 0)
+					var rf, rv memmodel.Value
+					w := root.Spawn("w", func(tt *checker.Thread) {
+						v.Store(tt, memmodel.Relaxed, 42)
+						f.Store(tt, memmodel.Relaxed, 1)
+					})
+					r := root.Spawn("r", func(tt *checker.Thread) {
+						rf = f.Load(tt, memmodel.Relaxed)
+						rv = v.Load(tt, memmodel.Relaxed)
+					})
+					root.Join(w)
+					root.Join(r)
+					record(fmt.Sprintf("f=%d v=%d", rf, rv))
+				}
+			},
+		},
+		{
+			Name: "IRIW",
+			Desc: "independent reads of independent writes, acq/rel (split reads are c11-only)",
+			Prog: func(record func(string)) func(*checker.Thread) {
+				return func(root *checker.Thread) {
+					x := root.NewAtomicInit("x", 0)
+					y := root.NewAtomicInit("y", 0)
+					var a, b, c, d memmodel.Value
+					t1 := root.Spawn("wx", func(tt *checker.Thread) { x.Store(tt, memmodel.Release, 1) })
+					t2 := root.Spawn("wy", func(tt *checker.Thread) { y.Store(tt, memmodel.Release, 1) })
+					t3 := root.Spawn("rxy", func(tt *checker.Thread) {
+						a = x.Load(tt, memmodel.Acquire)
+						b = y.Load(tt, memmodel.Acquire)
+					})
+					t4 := root.Spawn("ryx", func(tt *checker.Thread) {
+						c = y.Load(tt, memmodel.Acquire)
+						d = x.Load(tt, memmodel.Acquire)
+					})
+					root.Join(t1)
+					root.Join(t2)
+					root.Join(t3)
+					root.Join(t4)
+					record(fmt.Sprintf("a=%d b=%d c=%d d=%d", a, b, c, d))
+				}
+			},
+		},
+	}
+}
+
+// LitmusByName returns the named litmus test, or nil.
+func LitmusByName(name string) *LitmusTest {
+	for _, lt := range LitmusTests() {
+		if lt.Name == name {
+			return lt
+		}
+	}
+	return nil
+}
+
+// ModelDiffLeg summarizes one side of a model diff.
+type ModelDiffLeg struct {
+	Model      model.ID      `json:"model"`
+	Executions int           `json:"executions"`
+	Feasible   int           `json:"feasible"`
+	Exhausted  bool          `json:"exhausted"`
+	Behaviors  int           `json:"behaviors"`
+	Failures   int           `json:"failures"` // distinct failure signatures
+	Stats      checker.Stats `json:"stats"`
+}
+
+// ModelDiffReport is the outcome of RunModelDiff: the two legs plus the
+// set differences of their behavior and failure sets.
+type ModelDiffReport struct {
+	Target string       `json:"target"`
+	Kind   string       `json:"kind"` // "litmus" or "benchmark"
+	A      ModelDiffLeg `json:"a"`
+	B      ModelDiffLeg `json:"b"`
+	// OnlyA / OnlyB are example behavior keys present under exactly one
+	// model, sorted, capped at MaxDiffExamples; the *Count fields are
+	// uncapped.
+	OnlyA      []string `json:"only_a,omitempty"`
+	OnlyB      []string `json:"only_b,omitempty"`
+	OnlyACount int      `json:"only_a_count"`
+	OnlyBCount int      `json:"only_b_count"`
+	Common     int      `json:"common"`
+	// FailOnlyA / FailOnlyB / FailCommon diff the deduplicated failure
+	// signatures ("kind: message"); failure sets are small, so these are
+	// complete, not capped.
+	FailOnlyA  []string `json:"fail_only_a,omitempty"`
+	FailOnlyB  []string `json:"fail_only_b,omitempty"`
+	FailCommon int      `json:"fail_common"`
+}
+
+// MaxDiffExamples caps the behavior-key examples a report retains per
+// side. The counts are always exact.
+const MaxDiffExamples = 8
+
+// legRun is the raw material of one leg before diffing.
+type legRun struct {
+	behaviors map[string]bool
+	failures  map[string]bool
+	res       *checker.Result
+}
+
+func failureSig(f *checker.Failure) string {
+	return fmt.Sprintf("%s: %s", f.Kind, f.Msg)
+}
+
+func (lr *legRun) leg(id model.ID) ModelDiffLeg {
+	return ModelDiffLeg{
+		Model:      id,
+		Executions: lr.res.Executions,
+		Feasible:   lr.res.Feasible,
+		Exhausted:  lr.res.Exhausted,
+		Behaviors:  len(lr.behaviors),
+		Failures:   len(lr.failures),
+		Stats:      lr.res.Stats,
+	}
+}
+
+// runLitmusLeg explores one litmus program under one model, collecting
+// outcome strings as behavior keys.
+func runLitmusLeg(lt *LitmusTest, id model.ID, opts Options) *legRun {
+	lr := &legRun{behaviors: map[string]bool{}, failures: map[string]bool{}}
+	var mu sync.Mutex
+	record := func(o string) {
+		mu.Lock()
+		lr.behaviors[o] = true
+		mu.Unlock()
+	}
+	cfg := opts.ExplorerConfig("modeldiff:" + lt.Name)
+	cfg.Model = id
+	lr.res = checker.Explore(cfg, lt.Prog(record))
+	for _, f := range lr.res.Failures {
+		lr.failures[failureSig(f)] = true
+	}
+	return lr
+}
+
+// runBenchmarkLeg explores one Figure 7 benchmark's primary workload
+// under one model, collecting canonical spec fingerprints as behavior
+// keys.
+func runBenchmarkLeg(b *Benchmark, id model.ID, opts Options) *legRun {
+	lr := &legRun{behaviors: map[string]bool{}, failures: map[string]bool{}}
+	var mu sync.Mutex
+	cfg := opts.ExplorerConfig("modeldiff:" + b.Name)
+	cfg.Model = id
+	cfg.OnExecution = func(sys *checker.System) []*checker.Failure {
+		if mon := core.FromSys(sys); mon != nil {
+			key := fmt.Sprintf("%016x", mon.Fingerprint())
+			mu.Lock()
+			lr.behaviors[key] = true
+			mu.Unlock()
+		}
+		return nil
+	}
+	lr.res = core.Explore(b.spec(opts), cfg, b.Progs(b.Orders())[0])
+	for _, f := range lr.res.Failures {
+		lr.failures[failureSig(f)] = true
+	}
+	return lr
+}
+
+// setDiff splits two key sets into sorted only-a, only-b, and the size
+// of the intersection.
+func setDiff(a, b map[string]bool) (onlyA, onlyB []string, common int) {
+	for k := range a {
+		if b[k] {
+			common++
+		} else {
+			onlyA = append(onlyA, k)
+		}
+	}
+	for k := range b {
+		if !a[k] {
+			onlyB = append(onlyB, k)
+		}
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return onlyA, onlyB, common
+}
+
+func capExamples(keys []string) []string {
+	if len(keys) > MaxDiffExamples {
+		return keys[:MaxDiffExamples]
+	}
+	return keys
+}
+
+// ModelDiffTargets lists the valid modeldiff target names: litmus tests
+// first, then the Figure 7 benchmarks.
+func ModelDiffTargets() []string {
+	var names []string
+	for _, lt := range LitmusTests() {
+		names = append(names, lt.Name)
+	}
+	for _, b := range Benchmarks() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// RunModelDiff explores target under models a and b and diffs the
+// observable behavior and failure sets. Litmus names shadow benchmark
+// names (they don't collide today). Options.Model is ignored — the two
+// legs override it.
+func RunModelDiff(target string, a, b model.ID, opts Options) (*ModelDiffReport, error) {
+	a, b = a.OrDefault(), b.OrDefault()
+	if !a.Valid() || !b.Valid() {
+		return nil, fmt.Errorf("modeldiff: unknown memory model (valid: %s)", strings.Join(model.Names(), ", "))
+	}
+	var runA, runB *legRun
+	kind := ""
+	if lt := LitmusByName(target); lt != nil {
+		kind = "litmus"
+		runA = runLitmusLeg(lt, a, opts)
+		runB = runLitmusLeg(lt, b, opts)
+	} else if bench := BenchmarkByName(target); bench != nil {
+		kind = "benchmark"
+		runA = runBenchmarkLeg(bench, a, opts)
+		runB = runBenchmarkLeg(bench, b, opts)
+	} else {
+		return nil, fmt.Errorf("modeldiff: unknown target %q (valid: %s)", target, strings.Join(ModelDiffTargets(), ", "))
+	}
+	onlyA, onlyB, common := setDiff(runA.behaviors, runB.behaviors)
+	failA, failB, failCommon := setDiff(runA.failures, runB.failures)
+	return &ModelDiffReport{
+		Target:     target,
+		Kind:       kind,
+		A:          runA.leg(a),
+		B:          runB.leg(b),
+		OnlyA:      capExamples(onlyA),
+		OnlyB:      capExamples(onlyB),
+		OnlyACount: len(onlyA),
+		OnlyBCount: len(onlyB),
+		Common:     common,
+		FailOnlyA:  failA,
+		FailOnlyB:  failB,
+		FailCommon: failCommon,
+	}, nil
+}
+
+// Render formats the report for the terminal.
+func (r *ModelDiffReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "modeldiff %s (%s): %s vs %s\n", r.Target, r.Kind, r.A.Model, r.B.Model)
+	legLine := func(l ModelDiffLeg) {
+		state := "exhausted"
+		if !l.Exhausted {
+			state = "not exhausted"
+		}
+		fmt.Fprintf(&sb, "  %-10s %d executions, %d feasible, %d behaviors, %d failure kinds (%s)\n",
+			string(l.Model)+":", l.Executions, l.Feasible, l.Behaviors, l.Failures, state)
+	}
+	legLine(r.A)
+	legLine(r.B)
+	fmt.Fprintf(&sb, "  behaviors: %d common, %d only under %s, %d only under %s\n",
+		r.Common, r.OnlyACount, r.A.Model, r.OnlyBCount, r.B.Model)
+	example := func(keys []string, total int, m model.ID) {
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "    only %s: %s\n", m, k)
+		}
+		if total > len(keys) {
+			fmt.Fprintf(&sb, "    ... and %d more only under %s\n", total-len(keys), m)
+		}
+	}
+	example(r.OnlyA, r.OnlyACount, r.A.Model)
+	example(r.OnlyB, r.OnlyBCount, r.B.Model)
+	fmt.Fprintf(&sb, "  failures: %d common, %d only under %s, %d only under %s\n",
+		r.FailCommon, len(r.FailOnlyA), r.A.Model, len(r.FailOnlyB), r.B.Model)
+	example(r.FailOnlyA, len(r.FailOnlyA), r.A.Model)
+	example(r.FailOnlyB, len(r.FailOnlyB), r.B.Model)
+	if r.OnlyACount == 0 && r.OnlyBCount == 0 && len(r.FailOnlyA) == 0 && len(r.FailOnlyB) == 0 {
+		sb.WriteString("  no behavioral difference observed\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checker/model"
+)
+
+// TestModelDiffSB is the acceptance check for the modeldiff surface: the
+// store-buffering litmus must report at least one outcome present under
+// c11 and absent under sc — specifically the relaxed r1=0 r2=0 weak
+// behavior — and nothing sc-only.
+func TestModelDiffSB(t *testing.T) {
+	rep, err := RunModelDiff("SB", model.C11, model.SC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.A.Exhausted || !rep.B.Exhausted {
+		t.Fatalf("legs not exhausted: %+v", rep)
+	}
+	if rep.OnlyACount < 1 {
+		t.Fatalf("expected at least one c11-only outcome, got %+v", rep)
+	}
+	found := false
+	for _, o := range rep.OnlyA {
+		if o == "r1=0 r2=0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r1=0 r2=0 not among the c11-only outcomes: %v", rep.OnlyA)
+	}
+	if rep.OnlyBCount != 0 {
+		t.Errorf("sc admitted outcomes c11 forbids: %v", rep.OnlyB)
+	}
+	if rep.Common != 3 {
+		t.Errorf("SB interleaving outcomes should be the 3 common ones, got %d", rep.Common)
+	}
+	if rep.B.Executions >= rep.A.Executions {
+		t.Errorf("sc should explore fewer executions than c11: %d vs %d",
+			rep.B.Executions, rep.A.Executions)
+	}
+	out := rep.Render()
+	for _, want := range []string{"modeldiff SB", "only c11: r1=0 r2=0", "behaviors: 3 common, 1 only under c11"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestModelDiffBenchmark runs a benchmark target: sc's spec-fingerprint
+// behaviors must be a subset of c11's (every interleaving is a consistent
+// C/C++11 execution), with a shared common core and no failures on
+// either side.
+func TestModelDiffBenchmark(t *testing.T) {
+	rep, err := RunModelDiff("SPSC Queue", model.C11, model.SC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != "benchmark" {
+		t.Fatalf("kind = %q, want benchmark", rep.Kind)
+	}
+	if !rep.A.Exhausted || !rep.B.Exhausted {
+		t.Fatalf("legs not exhausted: %+v", rep)
+	}
+	if rep.Common < 1 {
+		t.Errorf("no common behaviors between c11 and sc: %+v", rep)
+	}
+	if rep.OnlyBCount != 0 {
+		t.Errorf("sc produced spec behaviors c11 cannot: %v", rep.OnlyB)
+	}
+	if len(rep.FailOnlyA) != 0 || len(rep.FailOnlyB) != 0 || rep.FailCommon != 0 {
+		t.Errorf("SPSC Queue should be failure-free under both models: %+v", rep)
+	}
+}
+
+// TestModelDiffSelf diffs a model against itself: identical legs, empty
+// diff. This doubles as a determinism check on the fingerprint keys.
+func TestModelDiffSelf(t *testing.T) {
+	rep, err := RunModelDiff("MP", model.SC, model.SC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OnlyACount != 0 || rep.OnlyBCount != 0 {
+		t.Errorf("self-diff is non-empty: %+v", rep)
+	}
+	if !strings.Contains(rep.Render(), "no behavioral difference observed") {
+		t.Errorf("Render of an empty diff should say so:\n%s", rep.Render())
+	}
+}
+
+// TestModelDiffErrors pins the error surface: unknown targets list the
+// valid names, unknown models are rejected before any exploration.
+func TestModelDiffErrors(t *testing.T) {
+	_, err := RunModelDiff("nope", model.C11, model.SC, Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown target") || !strings.Contains(err.Error(), "SB") {
+		t.Errorf("unknown target error should list valid names, got: %v", err)
+	}
+	_, err = RunModelDiff("SB", "tso", model.SC, Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown memory model") {
+		t.Errorf("unknown model error missing, got: %v", err)
+	}
+}
+
+// TestLitmusRegistry: every litmus target resolves and no litmus name
+// shadows a benchmark name.
+func TestLitmusRegistry(t *testing.T) {
+	for _, lt := range LitmusTests() {
+		if LitmusByName(lt.Name) == nil {
+			t.Errorf("litmus %q does not resolve", lt.Name)
+		}
+		if BenchmarkByName(lt.Name) != nil {
+			t.Errorf("litmus %q shadows a benchmark of the same name", lt.Name)
+		}
+	}
+}
