@@ -17,7 +17,13 @@
 //	cdsspec modeldiff <target>   diff behavior sets across consistency models
 //	cdsspec kernelbench [-json]  kernel hot-path before/after measurements
 //	cdsspec fuzz [benchmark]     run generative campaigns (§6.4's unit-test gap)
+//	cdsspec triage <benchmark>   screen→confirm→shrink triage over generated programs
 //	cdsspec shrink <benchmark>   minimize a failing generated program
+//	cdsspec serve                run the verification-service daemon
+//	cdsspec submit <benchmark>   submit a job to a running daemon
+//	cdsspec jobs                 list a daemon's jobs
+//	cdsspec watch <job-id>       stream one job's progress until it ends
+//	cdsspec cancel <job-id>      cancel a queued or running job
 //	cdsspec list [-v]            list benchmark names (-v: ops, roles, sites)
 //	cdsspec all                  run every experiment in sequence
 //
@@ -98,6 +104,15 @@ type cli struct {
 
 	// fastrun flags.
 	timeBudget time.Duration
+
+	// service flags (serve/submit/jobs/watch/cancel) and triage flags.
+	addr       string
+	stateDir   string
+	jobWorkers int
+	jobKind    string
+	deadline   time.Duration
+	fastRuns   int
+	shrinkHits bool
 }
 
 // parallelism resolves the exploration worker count for explore/resume:
@@ -182,6 +197,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.DurationVar(&c.checkpointEvery, "checkpoint-every", 0, "explore/resume: also checkpoint periodically at this interval")
 	sub.BoolVar(&c.verify, "verify", false, "resume: re-explore sequentially from scratch and require a bit-identical result")
 	sub.DurationVar(&c.timeBudget, "time", 0, "fastrun: wall-clock budget for the screen (0 = run budget only)")
+	sub.StringVar(&c.addr, "addr", "", "serve: listen address (default 127.0.0.1:0); submit/jobs/watch/cancel: daemon address")
+	sub.StringVar(&c.stateDir, "state", "", "serve: state directory (journal + checkpoints); clients read its addr file")
+	sub.IntVar(&c.jobWorkers, "jobs", 1, "serve: concurrent job workers")
+	sub.StringVar(&c.jobKind, "kind", "", "submit: job kind (explore, fast, or triage; default explore)")
+	sub.DurationVar(&c.deadline, "deadline", 0, "submit: per-job wall-clock budget (0 = none)")
+	sub.IntVar(&c.fastRuns, "fastruns", 0, "triage: fast-mode screen runs per program (0 = default 200)")
+	sub.BoolVar(&c.shrinkHits, "shrink", false, "triage: minimize confirmed reproducers")
 	modelName := sub.String("model", "", "consistency model: c11 (default), sc, or scatomics")
 	sub.StringVar(&c.diffA, "a", "c11", "modeldiff: first model")
 	sub.StringVar(&c.diffB, "b", "sc", "modeldiff: second model")
@@ -295,6 +317,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.modelDiffCmd(pos[0])
+	case "serve":
+		return c.serveCmd()
+	case "submit":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec submit {-state dir|-addr host:port} [-kind explore|fast|triage] [-max N] [-par N] [-deadline dur] [-model m] [-seed N] [-count N] [-budget N] [-fastruns N] [-shrink] [-json] <benchmark>")
+			return 2
+		}
+		return c.submitCmd(pos[0])
+	case "jobs":
+		return c.jobsCmd()
+	case "watch":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec watch {-state dir|-addr host:port} [-json] <job-id>")
+			return 2
+		}
+		return c.watchCmd(pos[0])
+	case "cancel":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec cancel {-state dir|-addr host:port} [-json] <job-id>")
+			return 2
+		}
+		return c.cancelCmd(pos[0])
+	case "triage":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec triage [-seed N] [-count N] [-budget N] [-fastruns N] [-shrink] [-corpus file] [-weaken site] [-json] <benchmark>")
+			return 2
+		}
+		return c.triageCmd(pos[0])
 	case "all":
 		if code := c.fig7(); code != 0 {
 			return code
@@ -317,11 +367,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|modeldiff <target>|kernelbench|fuzz [benchmark]|shrink <benchmark>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-model c11|sc|scatomics] [-cpuprofile file] [-memprofile file]")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|modeldiff <target>|kernelbench|fuzz [benchmark]|triage <benchmark>|shrink <benchmark>|serve|submit <benchmark>|jobs|watch <job-id>|cancel <job-id>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-model c11|sc|scatomics] [-cpuprofile file] [-memprofile file]")
 	fmt.Fprintln(w, "  explore/resume flags: -par N -max N -checkpoint file -checkpoint-every dur -verify")
 	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
+	fmt.Fprintln(w, "  triage flags: -seed N -count N -budget N -fastruns N -shrink -corpus file -weaken site")
 	fmt.Fprintln(w, "  fastrun flags: -seed N -max N -time dur -par N; fastbench flags: -seed N -json")
 	fmt.Fprintln(w, "  modeldiff flags: -a model -b model (litmus targets: SB, MP, IRIW; or any benchmark)")
+	fmt.Fprintln(w, "  serve flags: -state dir -addr host:port -jobs N -checkpoint-every dur")
+	fmt.Fprintln(w, "  submit/jobs/watch/cancel flags: -state dir|-addr host:port; submit adds -kind -max -par -deadline plus the triage flags")
 }
 
 // modelDiffCmd explores target under the -a and -b models and reports

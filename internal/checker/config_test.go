@@ -32,6 +32,14 @@ func TestConfigValidate(t *testing.T) {
 		{"fastmode-randomwalk", Config{FastMode: true, RandomWalk: 10}, "mutually exclusive"},
 		{"randomwalk-resume", Config{RandomWalk: 10, ResumeFrom: &Checkpoint{}}, "cannot resume"},
 		{"randomwalk-checkpoint-ignored", Config{RandomWalk: 10, Checkpoint: func(*Checkpoint) {}}, ""},
+		// Checkpoint-interval misconfigurations: a negative interval used
+		// to fall through every `> 0` guard (behaving as "final snapshot
+		// only" while still forcing the engine), and a positive interval
+		// without a sink ticked a snapshot loop that delivered nowhere.
+		{"negative-checkpoint-every", Config{CheckpointEvery: -1, Checkpoint: func(*Checkpoint) {}}, "CheckpointEvery must be >= 0"},
+		{"checkpoint-every-no-sink", Config{CheckpointEvery: 1}, "no Checkpoint sink"},
+		{"checkpoint-final-only", Config{Checkpoint: func(*Checkpoint) {}}, ""}, // 0 interval with a sink = final snapshot only
+		{"checkpoint-periodic", Config{CheckpointEvery: 1, Checkpoint: func(*Checkpoint) {}}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -241,6 +241,18 @@ func (c *Config) Validate() error {
 	if c.RandomWalk > 0 && c.ResumeFrom != nil {
 		return fmt.Errorf("checker: RandomWalk cannot resume a checkpoint — checkpoints hold a DFS frontier; rerun the missing walk count instead")
 	}
+	// A negative interval previously fell through every `> 0` guard and
+	// behaved as 0 (final snapshot only) while still routing the run
+	// through the work-stealing engine — reject it instead of silently
+	// reinterpreting it. An interval with no Checkpoint sink likewise
+	// forced the engine and ticked a snapshot loop whose output went
+	// nowhere; the caller who wanted periodic checkpoints got none.
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("checker: CheckpointEvery must be >= 0, got %v", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.Checkpoint == nil {
+		return fmt.Errorf("checker: CheckpointEvery %v has no Checkpoint sink to deliver snapshots to — set Config.Checkpoint (0 with a sink means final snapshot only)", c.CheckpointEvery)
+	}
 	return nil
 }
 

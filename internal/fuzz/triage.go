@@ -46,6 +46,24 @@ type TriageConfig struct {
 	Orders *memmodel.OrderTable
 	// Shrink minimizes each confirmed hit to a local minimum.
 	Shrink bool
+	// Interrupt, when non-nil, stops the triage early once the channel
+	// closes: in-flight fast-mode screens stop between runs (the checker
+	// honors Interrupt in every engine) and the confirm/shrink tier is
+	// not entered. The partial result is still returned, but the
+	// bit-identical-across-runs guarantee only holds for uninterrupted
+	// triages. The verification service wires job cancellation and
+	// deadlines to it.
+	Interrupt <-chan struct{}
+}
+
+// interrupted reports whether the triage's interrupt channel has fired.
+func (c TriageConfig) interrupted() bool {
+	select {
+	case <-c.Interrupt:
+		return true
+	default:
+		return false
+	}
 }
 
 func (c TriageConfig) withDefaults() TriageConfig {
@@ -117,6 +135,7 @@ func screenOne(t *Target, p *Program, cfg TriageConfig) (*checker.Failure, int, 
 		MaxSteps:      stepBudget(p, cfg.MaxSteps),
 		StoreBound:    cfg.StoreBound,
 		StopAtFirst:   true,
+		Interrupt:     cfg.Interrupt,
 	}, prog)
 	return res.FirstFailure(), res.Executions, nil
 }
@@ -159,6 +178,16 @@ func Triage(t *Target, cfg TriageConfig) (*TriageResult, error) {
 			res.Flagged++
 			flagged = append(flagged, &TriageHit{Program: programs[i], Screen: s.screen})
 		}
+	}
+
+	// An interrupted triage stops here: the screen results above are
+	// real (each flagged hit is a genuine fast-mode failure), but
+	// spending the confirm/shrink budget against a closing deadline
+	// would only be thrown away.
+	if cfg.interrupted() {
+		res.Elapsed = time.Since(start)
+		res.Unconfirmed = flagged
+		return res, nil
 	}
 
 	// Confirm tier: exhaustive (bounded) re-check of the flagged

@@ -87,11 +87,18 @@ func (cf *CheckpointFile) ValidateModel(requested model.ID) error {
 	return nil
 }
 
-// WriteCheckpointFile atomically writes the envelope to path: the blob
-// lands in a same-directory temp file first and is renamed over the
-// target, so a SIGKILL mid-write leaves the previous checkpoint intact
-// rather than a truncated JSON document.
+// WriteCheckpointFile atomically and durably writes the envelope to
+// path: the blob lands in a same-directory temp file first, is fsynced,
+// and is renamed over the target — so a SIGKILL mid-write leaves the
+// previous checkpoint intact rather than a truncated JSON document — and
+// the containing directory is fsynced after the rename, so a power loss
+// after Write returns cannot observe the acknowledged checkpoint missing
+// (the rename itself lives in the directory's metadata, which the
+// file-level fsync does not cover).
 func WriteCheckpointFile(path string, cf *CheckpointFile) error {
+	if path == "" {
+		return fmt.Errorf("checkpoint path is empty")
+	}
 	blob, err := json.MarshalIndent(cf, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encoding checkpoint: %w", err)
@@ -106,11 +113,34 @@ func WriteCheckpointFile(path string, cf *CheckpointFile) error {
 		tmp.Close()
 		return fmt.Errorf("writing checkpoint: %w", err)
 	}
+	// Sync before rename: without it the rename can become durable
+	// before the data blocks, and a crash leaves an empty or partial
+	// file under the final name — exactly the torn state the temp-file
+	// dance exists to prevent.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("syncing checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("closing checkpoint temp file: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("committing checkpoint: %w", err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making durable any renames or creates
+// committed inside it. The service journal and job store share it with
+// the checkpoint writer.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("opening directory for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("syncing directory %s: %w", dir, err)
 	}
 	return nil
 }

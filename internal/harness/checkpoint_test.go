@@ -174,3 +174,43 @@ func TestCheckpointFileValidation(t *testing.T) {
 		t.Errorf("round trip mangled the envelope: %+v", cf)
 	}
 }
+
+// TestWriteCheckpointFileDurability: an empty path is refused outright
+// (it used to surface as an opaque rename error into the working
+// directory), a successful write round-trips through the full
+// fsync-file + rename + fsync-dir path, and a failed write leaves the
+// previous checkpoint intact with no temp-file litter.
+func TestWriteCheckpointFileDurability(t *testing.T) {
+	cf := &CheckpointFile{
+		Schema:    CheckpointFileSchema,
+		Benchmark: "RCU",
+		State:     &checker.Checkpoint{Schema: checker.CheckpointSchema, Cells: []checker.CheckpointCell{{Pending: true}}},
+	}
+	if err := WriteCheckpointFile("", cf); err == nil {
+		t.Error("empty checkpoint path accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	if err := WriteCheckpointFile(path, cf); err != nil {
+		t.Fatalf("durable write failed: %v", err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("written checkpoint unreadable: %v", err)
+	}
+	if got.Benchmark != "RCU" || got.State.Pending() != 1 {
+		t.Errorf("round trip mangled the envelope: %+v", got)
+	}
+	// A write into a missing directory fails without touching path.
+	bad := filepath.Join(dir, "no-such-dir", "cp.json")
+	if err := WriteCheckpointFile(bad, cf); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cp.json" {
+		t.Errorf("temp-file litter or lost checkpoint after failed write: %v", entries)
+	}
+}

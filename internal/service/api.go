@@ -1,0 +1,144 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// The HTTP/JSON API surface:
+//
+//	GET  /healthz                     liveness probe ("ok")
+//	POST /api/v1/jobs                 submit a JobSpec, returns the JobView
+//	GET  /api/v1/jobs                 list all jobs in submit order
+//	GET  /api/v1/jobs/{id}            one job's view
+//	POST /api/v1/jobs/{id}/cancel     request cancellation
+//	GET  /api/v1/jobs/{id}/events     SSE stream of Events until terminal
+//	GET  /api/v1/metrics              daemon counters (Metrics document)
+//
+// Errors are {"error": "..."} with a 4xx/5xx status.
+
+func (s *Server) apiHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.JobList())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := s.Cancel(id); err != nil {
+			status := http.StatusConflict
+			if _, ok := s.Job(id); !ok {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err)
+			return
+		}
+		v, _ := s.Job(id)
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	v, err := s.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if s.isDraining() {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handleEvents streams a job's events as server-sent events. The stream
+// starts with the job's current state (so late watchers catch up
+// immediately) and closes after the terminal event, after a drain
+// suspension, or when the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch := make(chan Event, 64)
+	cur, ok := s.subscribe(id, ch)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %s", id))
+		return
+	}
+	defer s.unsubscribe(id, ch)
+
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(ev Event) bool {
+		blob, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", blob); err != nil {
+			return false
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		// Terminal and suspended both end the stream: neither state
+		// produces further events this side of a restart.
+		return !ev.State.Terminal() && ev.State != StateSuspended
+	}
+	if !send(cur) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a running daemon. It backs the cdsspec
+// submit/jobs/watch/cancel subcommands and the service tests.
+type Client struct {
+	// Base is the daemon address, with or without the http:// prefix
+	// (the addr file stores the bare host:port).
+	Base string
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	// Watch streams indefinitely, so the client must not set a global
+	// timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) url(path string) string {
+	base := c.Base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/") + path
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes the JSON response into out, turning
+// {"error": ...} bodies into Go errors.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("encoding request: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.url(path), body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s", apiErr.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(blob, out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health checks the daemon's liveness probe.
+func (c *Client) Health() error {
+	resp, err := c.http().Get(c.url("/healthz"))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health check: %s", resp.Status)
+	}
+	return nil
+}
+
+// Submit submits a job and returns its acknowledged view.
+func (c *Client) Submit(spec JobSpec) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodPost, "/api/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Jobs lists every job in submit order.
+func (c *Client) Jobs() ([]JobView, error) {
+	var out []JobView
+	err := c.do(http.MethodGet, "/api/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Job fetches one job's view.
+func (c *Client) Job(id string) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodGet, "/api/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Cancel requests cancellation and returns the job's view at that
+// moment (still running until the engine honors the interrupt).
+func (c *Client) Cancel(id string) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodPost, "/api/v1/jobs/"+id+"/cancel", nil, &v)
+	return v, err
+}
+
+// Metrics fetches the daemon counters.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	err := c.do(http.MethodGet, "/api/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Watch subscribes to a job's event stream and calls fn for each event
+// until the stream ends (terminal state or drain suspension), the
+// server goes away, or fn returns false. It returns the last event seen.
+func (c *Client) Watch(id string, fn func(Event) bool) (Event, error) {
+	resp, err := c.http().Get(c.url("/api/v1/jobs/" + id + "/events"))
+	if err != nil {
+		return Event{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(resp.Body)
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			return Event{}, fmt.Errorf("%s", apiErr.Error)
+		}
+		return Event{}, fmt.Errorf("watch %s: %s", id, resp.Status)
+	}
+	var last Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return last, fmt.Errorf("decoding event: %w", err)
+		}
+		last = ev
+		if fn != nil && !fn(ev) {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, fmt.Errorf("reading event stream: %w", err)
+	}
+	return last, nil
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The kill -9 end-to-end test: a real daemon process is SIGKILLed in
+// the middle of a Seqlock exploration (84k executions, seconds of
+// work), a second process is started against the same state directory,
+// and the recovered job's final result must be bit-identical to an
+// uninterrupted run. The daemon lives in a subprocess via the TestMain
+// re-exec pattern, so the kill is a genuine process death — no deferred
+// cleanup, no flushes, nothing graceful.
+
+const e2eStateEnv = "CDSSPEC_SERVE_E2E_STATE"
+
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(e2eStateEnv); dir != "" {
+		// Helper mode: run a daemon against dir until killed.
+		log.SetPrefix("e2e-daemon: ")
+		srv, err := Open(Config{
+			StateDir:        dir,
+			Workers:         1,
+			CheckpointEvery: 25 * time.Millisecond,
+			ProgressEvery:   10 * time.Millisecond,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		select {} // parked until SIGKILL
+	}
+	os.Exit(m.Run())
+}
+
+// startDaemonProc launches the test binary in helper mode and waits for
+// its addr file.
+func startDaemonProc(t *testing.T, dir string) (*exec.Cmd, *Client) {
+	t.Helper()
+	// Remove any previous addr file so the wait below cannot read a
+	// dead daemon's address.
+	os.Remove(filepath.Join(dir, "addr"))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), e2eStateEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		blob, err := os.ReadFile(filepath.Join(dir, "addr"))
+		if err == nil && len(blob) > 0 {
+			cl := &Client{Base: string(blob[:len(blob)-1])}
+			if cl.Health() == nil {
+				return cmd, cl
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("daemon subprocess never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServiceKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short: skipping the subprocess kill -9 recovery test (~10s)")
+	}
+	dir := t.TempDir()
+
+	cmd, cl := startDaemonProc(t, dir)
+	v, err := cl.Submit(JobSpec{Benchmark: "Seqlock", Parallelism: 2, CheckpointEvery: 25 * time.Millisecond})
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal(err)
+	}
+
+	// Wait for the exploration to be well underway — thousands of
+	// executions in, a checkpoint on disk, tens of thousands still to
+	// go — then pull the plug.
+	cpPath := filepath.Join(dir, "jobs", v.ID, "checkpoint.json")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, err := cl.Job(v.ID)
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("job finished (%s) before the kill window", cur.State)
+		}
+		_, cpErr := os.Stat(cpPath)
+		if cur.State == StateRunning && cur.Progress != nil &&
+			cur.Progress.Executions >= 5000 && cpErr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("job never reached the kill window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // reap; exit error is expected after SIGKILL
+
+	// Restart against the same state directory. Replay requeues the
+	// killed job; it must resume from the checkpoint and finish.
+	cmd2, cl2 := startDaemonProc(t, dir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+
+	deadline = time.Now().Add(120 * time.Second)
+	var final JobView
+	for {
+		cur, err := cl2.Job(v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			final = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered job never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if final.State != StateDone {
+		t.Fatalf("recovered job landed in %s (error %q)", final.State, final.Error)
+	}
+	if !final.Resumed || final.Attempts < 2 {
+		t.Fatalf("recovery should resume the checkpoint on a later attempt: resumed=%v attempts=%d",
+			final.Resumed, final.Attempts)
+	}
+
+	// The recovered result must be bit-identical to an uninterrupted
+	// exploration (stats compared under the resume-boundary rules: the
+	// spec cache restarts cold, so only the hit+miss total must match).
+	ref := exploreReference(t, "Seqlock")
+	payload := readResult(t, dir, v.ID)
+	requireResumeIdentical(t, "Seqlock kill -9 recovery", ref, payload.Result)
+}

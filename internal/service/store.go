@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/harness"
+)
+
+// The store owns the daemon's state directory:
+//
+//	state/
+//	  journal.jsonl        append-only job event log, fsynced per record
+//	  addr                 the bound API address (written on Start)
+//	  jobs/<id>/checkpoint.json   explore-job checkpoint (atomic + durable)
+//	  jobs/<id>/result.json       terminal payload (atomic + durable)
+//
+// Crash-safety contract: every journal append is fsynced before the
+// daemon acts on it (acknowledges a submit, starts a run, reports a
+// terminal state), and checkpoint/result files go through the
+// harness.WriteCheckpointFile discipline — temp file, fsync, rename,
+// directory fsync — so a power loss can never observe an acknowledged
+// record missing or a torn file under a final name.
+
+// JournalSchema identifies the journal record layout.
+const JournalSchema = "cdsspec-journal/v1"
+
+// journalRecord is one line of the journal. Submit records carry the
+// spec; state records carry the transition (and, for terminal states,
+// the summary and error).
+type journalRecord struct {
+	Schema string `json:"schema,omitempty"` // first record only
+	Seq    int    `json:"seq"`
+	Event  string `json:"event"` // "submit" | "state"
+	ID     string `json:"id"`
+	// Submit fields.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// State fields.
+	State   JobState `json:"state,omitempty"`
+	Summary *Summary `json:"summary,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// store is the on-disk half of the server. Not safe for concurrent use;
+// the server serializes access under its own mutex.
+type store struct {
+	dir     string
+	journal *os.File
+	seq     int
+}
+
+// openStore creates (or reopens) the state directory and its journal.
+func openStore(dir string) (*store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: state directory path is empty")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating state directory: %w", err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	if created {
+		// Make the journal's creation itself durable: the per-record
+		// file fsync does not cover the directory entry, and a journal
+		// that vanishes in a crash silently forgets acknowledged jobs.
+		if err := harness.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &store{dir: dir, journal: f}, nil
+}
+
+func (st *store) close() error { return st.journal.Close() }
+
+// append writes one record and fsyncs it. The daemon only acts on an
+// event (acknowledges, starts, finishes) after append returns, so the
+// journal is always at least as new as any externally visible state.
+func (st *store) append(rec journalRecord) error {
+	st.seq++
+	rec.Seq = st.seq
+	if st.seq == 1 {
+		rec.Schema = JournalSchema
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encoding journal record: %w", err)
+	}
+	if _, err := st.journal.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("service: appending journal record: %w", err)
+	}
+	if err := st.journal.Sync(); err != nil {
+		return fmt.Errorf("service: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// jobDir returns (and creates) the job's artifact directory.
+func (st *store) jobDir(id string) (string, error) {
+	dir := filepath.Join(st.dir, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("service: creating job directory: %w", err)
+	}
+	return dir, nil
+}
+
+// checkpointPath is where an explore job's checkpoint envelope lives.
+func (st *store) checkpointPath(id string) string {
+	return filepath.Join(st.dir, "jobs", id, "checkpoint.json")
+}
+
+// writeResult durably persists a terminal payload (the full Result or
+// TriageResult, wrapped with the job id and kind) next to the
+// checkpoint, via the same temp-fsync-rename-fsync discipline.
+func (st *store) writeResult(id string, payload any) error {
+	dir, err := st.jobDir(id)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encoding result: %w", err)
+	}
+	path := filepath.Join(dir, "result.json")
+	tmp, err := os.CreateTemp(dir, ".result-*")
+	if err != nil {
+		return fmt.Errorf("service: creating result temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: writing result: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: syncing result: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: closing result temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("service: committing result: %w", err)
+	}
+	return harness.SyncDir(dir)
+}
+
+// replay reads the journal back and rebuilds the job table in submit
+// order. A torn final line (the one write that can be lost to a crash,
+// since every complete record was fsynced) is tolerated and dropped;
+// garbage anywhere earlier is a corrupt journal and refuses recovery.
+func (st *store) replay() ([]*job, error) {
+	f, err := os.Open(filepath.Join(st.dir, "journal.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("service: opening journal for replay: %w", err)
+	}
+	defer f.Close()
+
+	byID := map[string]*job{}
+	var order []*job
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	var torn bool
+	for sc.Scan() {
+		line++
+		if torn {
+			return nil, fmt.Errorf("service: journal line %d: record follows an undecodable line — journal is corrupt, not torn", line)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Only acceptable as the final, partially written line.
+			torn = true
+			continue
+		}
+		if rec.Seq > st.seq {
+			st.seq = rec.Seq
+		}
+		switch rec.Event {
+		case "submit":
+			if rec.Spec == nil {
+				return nil, fmt.Errorf("service: journal line %d: submit record without a spec", line)
+			}
+			j := &job{id: rec.ID, spec: *rec.Spec, state: StateQueued}
+			byID[rec.ID] = j
+			order = append(order, j)
+		case "state":
+			j := byID[rec.ID]
+			if j == nil {
+				return nil, fmt.Errorf("service: journal line %d: state record for unknown job %s", line, rec.ID)
+			}
+			j.state = rec.State
+			if rec.State == StateRunning {
+				j.attempts++
+			}
+			if rec.Summary != nil {
+				j.summary = rec.Summary
+			}
+			if rec.Error != "" {
+				j.err = rec.Error
+			}
+		default:
+			return nil, fmt.Errorf("service: journal line %d: unknown event %q", line, rec.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	return order, nil
+}
