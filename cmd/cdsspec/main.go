@@ -15,6 +15,7 @@
 //	cdsspec json <benchmark>     print one execution + stats as JSON
 //	cdsspec benchdiff <a> <b>    compare two fig7 -json snapshots (any schema)
 //	cdsspec modeldiff <target>   diff behavior sets across consistency models
+//	cdsspec reducediff <target>  prove reduced == unreduced behavior sets
 //	cdsspec kernelbench [-json]  kernel hot-path before/after measurements
 //	cdsspec fuzz [benchmark]     run generative campaigns (§6.4's unit-test gap)
 //	cdsspec triage <benchmark>   screen→confirm→shrink triage over generated programs
@@ -31,12 +32,17 @@
 // -json (machine-readable output), -progress (periodic progress to
 // stderr), -nocache (disable spec-check memoization), -nokernelopts
 // (disable the kernel hot-path optimizations), -model (consistency
-// model: c11, sc, or scatomics — see DESIGN.md), -par N (work-stealing
-// exploration workers), and -cpuprofile/-memprofile (write pprof
-// profiles of the subcommand). The modeldiff subcommand adds -a and -b
-// (the two models to compare). The explore and resume subcommands add
-// -max, -checkpoint, -checkpoint-every and -verify (see their help
-// text); a SIGINT stops them gracefully and writes a final checkpoint.
+// model: c11, sc, or scatomics — see DESIGN.md), -reduce (execution-
+// equivalence reductions: all, none, or a comma list of
+// rf,symmetry,spinloop — default all for explore and reducediff, none
+// elsewhere; honored by run, resume, fig7 and fig8), -par N
+// (work-stealing exploration workers), and -cpuprofile/-memprofile
+// (write pprof profiles of the subcommand). The modeldiff subcommand
+// adds -a and -b (the two models to compare). The explore and resume
+// subcommands add -max, -checkpoint, -checkpoint-every and -verify (see
+// their help text); a SIGINT stops them gracefully and writes a final
+// checkpoint. Resume adopts the checkpoint's reduction set and refuses
+// an explicit -reduce that disagrees with it.
 // The fuzz and shrink subcommands add -seed, -count, -budget, -corpus,
 // -weaken and -index. The fastrun subcommand adds -seed, -max (run
 // budget), -time (wall-clock budget) and -par; fastbench adds -seed and
@@ -82,6 +88,13 @@ type cli struct {
 	// explicitly (resume adopts the envelope's model when it wasn't).
 	model    model.ID
 	modelSet bool
+
+	// -reduce: execution-equivalence reductions. reduce is the parsed
+	// set; reduceGiven records whether the flag was given explicitly
+	// (explore and reducediff default to all reductions, resume adopts
+	// the checkpoint envelope's set).
+	reduce      checker.ReduceSet
+	reduceGiven bool
 
 	// modeldiff -a/-b.
 	diffA, diffB string
@@ -130,6 +143,7 @@ func (c *cli) opts() harness.Options {
 	o := harness.Options{
 		Workers:           c.workers,
 		Model:             c.model,
+		Reduce:            c.reduce,
 		DisableSpecCache:  c.nocache,
 		DisableKernelOpts: c.nokernelopts,
 		CPUProfile:        c.cpuProfile,
@@ -144,6 +158,10 @@ func (c *cli) opts() harness.Options {
 			}
 			line := fmt.Sprintf("[%s] %d executions (%d feasible, %d pruned, %d failures, %d cache hits) %.0f exec/s",
 				name, p.Executions, p.Feasible, p.Pruned, p.Failures, p.SpecCacheHits, p.ExecsPerSec)
+			if p.RFEquivPrunes > 0 || p.SymmetryPrunes > 0 || p.SpinloopBounds > 0 || p.RFClasses > 0 {
+				line += fmt.Sprintf(", reduce[%d rf-pruned/%d classes, %d sym, %d spin]",
+					p.RFEquivPrunes, p.RFClasses, p.SymmetryPrunes, p.SpinloopBounds)
+			}
 			if p.ETA > 0 {
 				line += fmt.Sprintf(", ETA %v", p.ETA.Round(timeUnit))
 			}
@@ -205,6 +223,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sub.IntVar(&c.fastRuns, "fastruns", 0, "triage: fast-mode screen runs per program (0 = default 200)")
 	sub.BoolVar(&c.shrinkHits, "shrink", false, "triage: minimize confirmed reproducers")
 	modelName := sub.String("model", "", "consistency model: c11 (default), sc, or scatomics")
+	reduceName := sub.String("reduce", "", "execution-equivalence reductions: all, none, or a comma list of rf,symmetry,spinloop (explore/reducediff default: all; elsewhere: none)")
 	sub.StringVar(&c.diffA, "a", "c11", "modeldiff: first model")
 	sub.StringVar(&c.diffB, "b", "sc", "modeldiff: second model")
 	if err := sub.Parse(rest[1:]); err != nil {
@@ -217,9 +236,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	c.model = id
+	red, err := checker.ParseReduce(*reduceName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	c.reduce = red
 	sub.Visit(func(f *flag.Flag) {
-		if f.Name == "model" {
+		switch f.Name {
+		case "model":
 			c.modelSet = true
+		case "reduce":
+			c.reduceGiven = true
 		}
 	})
 	pos := sub.Args()
@@ -317,6 +345,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return c.modelDiffCmd(pos[0])
+	case "reducediff":
+		if len(pos) < 1 {
+			fmt.Fprintln(stderr, "usage: cdsspec reducediff [-reduce set] [-model m] [-par N] [-json] <target>")
+			fmt.Fprintf(stderr, "targets: %s\n", strings.Join(harness.ModelDiffTargets(), ", "))
+			return 2
+		}
+		return c.reduceDiffCmd(pos[0])
 	case "serve":
 		return c.serveCmd()
 	case "submit":
@@ -367,8 +402,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|modeldiff <target>|kernelbench|fuzz [benchmark]|triage <benchmark>|shrink <benchmark>|serve|submit <benchmark>|jobs|watch <job-id>|cancel <job-id>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-model c11|sc|scatomics] [-cpuprofile file] [-memprofile file]")
-	fmt.Fprintln(w, "  explore/resume flags: -par N -max N -checkpoint file -checkpoint-every dur -verify")
+	fmt.Fprintln(w, "usage: cdsspec [-workers N] {fig7|fig8|knownbugs|overlystrong|specstats|run <benchmark>|explore <benchmark>|resume <file>|fastrun <benchmark>|fastbench|dot <benchmark>|json <benchmark>|benchdiff <old.json> <new.json>|modeldiff <target>|reducediff <target>|kernelbench|fuzz [benchmark]|triage <benchmark>|shrink <benchmark>|serve|submit <benchmark>|jobs|watch <job-id>|cancel <job-id>|list [-v]|all} [-json] [-progress] [-nocache] [-nokernelopts] [-model c11|sc|scatomics] [-reduce all|none|rf,symmetry,spinloop] [-cpuprofile file] [-memprofile file]")
+	fmt.Fprintln(w, "  explore/resume flags: -par N -max N -checkpoint file -checkpoint-every dur -verify (explore defaults to -reduce=all)")
+	fmt.Fprintln(w, "  reducediff flags: -reduce set -model m -par N (compares the reduced vs unreduced behavior sets; fails on any difference)")
 	fmt.Fprintln(w, "  fuzz/shrink flags: -seed N -count N -budget N -corpus file -weaken site -index N")
 	fmt.Fprintln(w, "  triage flags: -seed N -count N -budget N -fastruns N -shrink -corpus file -weaken site")
 	fmt.Fprintln(w, "  fastrun flags: -seed N -max N -time dur -par N; fastbench flags: -seed N -json")
@@ -406,6 +442,43 @@ func (c *cli) modelDiffCmd(target string) int {
 		return 0
 	}
 	fmt.Fprint(c.stdout, rep.Render())
+	return 0
+}
+
+// reduceDiffCmd explores target twice — unreduced and under the -reduce
+// set (default all) — and compares the observable behavior and failure
+// sets, which the reduction must preserve exactly. A behavior-set
+// difference is a soundness bug and fails the command; CI runs this as
+// the reduction-smoke gate.
+func (c *cli) reduceDiffCmd(target string) int {
+	if !c.reduceGiven {
+		c.reduce = checker.ReduceAll()
+	}
+	if !c.reduce.Any() {
+		fmt.Fprintln(c.stderr, "reducediff needs a non-empty -reduce set to compare against the unreduced run")
+		return 2
+	}
+	opts := c.opts()
+	opts.Parallelism = c.parallelism()
+	rep, err := harness.RunReduceDiff(target, c.reduce, opts)
+	if err != nil {
+		fmt.Fprintln(c.stderr, err)
+		return 2
+	}
+	if c.jsonOut {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(c.stderr, "encoding report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(c.stdout, string(blob))
+	} else {
+		fmt.Fprint(c.stdout, rep.Render())
+	}
+	if !rep.Sound {
+		fmt.Fprintf(c.stderr, "reducediff: reduction %q changed the behavior set for %q\n", c.reduce, target)
+		return 1
+	}
 	return 0
 }
 
@@ -637,6 +710,16 @@ func interruptFrom(sig chan os.Signal, stop func()) (<-chan struct{}, func()) {
 	return intr, cleanup
 }
 
+// reduceField renders a reduction set for the checkpoint envelope: the
+// zero set maps to the absent field (omitempty), matching the back-compat
+// rule that absence means no reduction.
+func reduceField(r checker.ReduceSet) string {
+	if !r.Any() {
+		return ""
+	}
+	return r.String()
+}
+
 // checkpointWriter builds the Config.Checkpoint hook: every snapshot
 // (periodic and final) is wrapped in the benchmark-pinning envelope and
 // atomically written to path. Write errors go to stderr but don't stop
@@ -650,6 +733,7 @@ func (c *cli) checkpointWriter(path, benchmark string) func(*checker.Checkpoint)
 			Model:        string(c.model),
 			NoCache:      c.nocache,
 			NoKernelOpts: c.nokernelopts,
+			Reduce:       reduceField(c.reduce),
 			State:        cp,
 		}
 		if err := harness.WriteCheckpointFile(path, cf); err != nil {
@@ -685,6 +769,10 @@ func (c *cli) printExploreResult(name string, res *checker.Result) int {
 		fmt.Fprintf(c.stdout, "  scheduler: %d steals, frontier high-water %d, worker-busy %v\n",
 			res.Stats.Steals, res.Stats.MaxFrontier, res.Stats.WorkerBusy.Round(timeUnit))
 	}
+	if s := res.Stats; s.RFEquivPrunes > 0 || s.SymmetryPrunes > 0 || s.SpinloopBounds > 0 || s.RFClasses > 0 {
+		fmt.Fprintf(c.stdout, "  reduction: %d rf-equiv prunes, %d symmetry prunes, %d spinloop bounds, %d rf classes\n",
+			s.RFEquivPrunes, s.SymmetryPrunes, s.SpinloopBounds, s.RFClasses)
+	}
 	for _, f := range res.Failures {
 		fmt.Fprintf(c.stdout, "  failure at execution %d: %v\n", f.Execution, f)
 	}
@@ -702,6 +790,11 @@ func (c *cli) exploreCmd(name string) int {
 	if c.checkpointEvery > 0 && c.checkpointPath == "" {
 		fmt.Fprintln(c.stderr, "-checkpoint-every needs -checkpoint <file> to write to")
 		return 2
+	}
+	if !c.reduceGiven {
+		// explore defaults to the full reduction set; pass -reduce=none
+		// for the pre-reduction explorer.
+		c.reduce = checker.ReduceAll()
 	}
 	opts := c.opts()
 	opts.Parallelism = c.parallelism()
@@ -752,6 +845,19 @@ func (c *cli) resumeCmd(path string) int {
 		}
 	}
 	c.model = cf.ModelID()
+	// The reduction set likewise shapes the frontier: adopt the
+	// envelope's, and refuse an explicit mismatch.
+	if c.reduceGiven {
+		if err := cf.ValidateReduce(c.reduce); err != nil {
+			fmt.Fprintln(c.stderr, err)
+			return 1
+		}
+	}
+	c.reduce = cf.ReduceSet()
+	if c.verify && c.reduce.RF {
+		fmt.Fprintln(c.stderr, "resume -verify cannot run with the rf reduction: checkpoints do not carry the rf seen-set, so the resumed half re-registers states and its execution/prune split legitimately differs from an uninterrupted run (explore with -reduce=none, or without rf, for round-trip verification)")
+		return 2
+	}
 	b := harness.BenchmarkByName(cf.Benchmark)
 	opts := c.opts()
 	opts.Parallelism = c.parallelism()

@@ -114,6 +114,17 @@ type Config struct {
 	// slower; used by soundness tests that compare outcome sets with the
 	// reduction on vs off.
 	DisableSleepSet bool
+	// Reduce selects the execution-equivalence reductions (reduce.go):
+	// rf-class subtree pruning over a shared seen-set, thread-symmetry
+	// canonicalization, and spinloop/await bounding. Zero value = no
+	// reduction (the pre-reduction explorer). Each mechanism is
+	// independently toggleable and composes with every DFS engine
+	// (sequential and work-stealing) and every Model backend; RandomWalk
+	// supports only Spinloop, and FastMode supports none (Validate
+	// rejects the other combinations). The behavior set — spec
+	// fingerprints and failure kinds — is preserved exactly; see
+	// DESIGN.md §5c for the equivalence key and soundness argument.
+	Reduce ReduceSet
 	// DisableLifetimeCheck turns off the unpublished-memory built-in
 	// check, the equivalent of silencing CDSChecker's uninitialized-load
 	// report (the paper does this in §6.4.1 to let the Chase-Lev bug
@@ -207,6 +218,12 @@ type Config struct {
 	// backend is the resolved consistency backend for Model, installed by
 	// withDefaults and read by every System of the exploration.
 	backend consistency
+	// rfSeen is the shared witnessed-state registry behind Reduce.RF,
+	// installed by withDefaults (one per exploration, shared by every
+	// worker; internally sharded and locked). Checkpoints do not carry it:
+	// a resume starts with an empty registry, which is sound — the set
+	// only prunes, never admits.
+	rfSeen *rfSeenSet
 }
 
 // Validate reports the first configuration error, or nil. Explore panics
@@ -240,6 +257,12 @@ func (c *Config) Validate() error {
 	}
 	if c.RandomWalk > 0 && c.ResumeFrom != nil {
 		return fmt.Errorf("checker: RandomWalk cannot resume a checkpoint — checkpoints hold a DFS frontier; rerun the missing walk count instead")
+	}
+	if c.FastMode && c.Reduce.Any() {
+		return fmt.Errorf("checker: FastMode samples plausible executions with no decision tree, so the %s reduction has nothing to prune — drop Reduce or FastMode", c.Reduce)
+	}
+	if c.RandomWalk > 0 && (c.Reduce.RF || c.Reduce.Symmetry) {
+		return fmt.Errorf("checker: RandomWalk supports only the spinloop reduction — rf and symmetry prune DFS subtrees, which independent walks do not have (got Reduce=%s)", c.Reduce)
 	}
 	// A negative interval previously fell through every `> 0` guard and
 	// behaved as 0 (final snapshot only) while still routing the run
@@ -289,6 +312,9 @@ func (c *Config) withDefaults() *Config {
 		out.StoreBound = 2 // the newest store must survive eviction
 	}
 	out.backend = backendFor(out.Model)
+	if out.Reduce.RF {
+		out.rfSeen = newRFSeenSet()
+	}
 	return &out
 }
 
@@ -505,6 +531,12 @@ func (d *dfsChooser) choose(n int, kind byte) int {
 	return 0
 }
 
+// freshDecision reports whether the next decision would open a fresh
+// node, past any replayed prefix. Reduction checks and counters fire only
+// at fresh nodes, so sequential and parallel runs count alike and a
+// replay never re-checks the branch point it registered on first visit.
+func (d *dfsChooser) freshDecision() bool { return d.depth >= len(d.decisions) }
+
 func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	cands := d.candsBuf[:0]
 	for _, t := range enabled {
@@ -512,6 +544,11 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 			continue
 		}
 		cands = append(cands, t.id)
+	}
+	if s.cfg.Reduce.Any() {
+		// Deterministic function of the execution state, so replays and
+		// frozen-prefix re-drives recompute the identical candidate list.
+		cands = s.reduceCandidates(cands, d.freshDecision())
 	}
 	d.candsBuf = cands
 	if len(cands) == 0 {
@@ -521,6 +558,16 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 	}
 	if len(cands) == 1 {
 		// No branching: not recorded (replay recomputes it identically).
+		// The rf-equivalence check still applies on first-visit paths:
+		// convergent interleavings often reach an equal state at a forced
+		// step rather than at a branch point, and pruning there is sound
+		// for the same reason — the registered instance explores every
+		// continuation of the state, branching or not. Replays skip the
+		// check (freshDecision), so a frozen prefix never self-prunes.
+		if s.cfg.Reduce.RF && d.freshDecision() && s.rfStateSeen('s', nil, nil) {
+			s.pruneReason = pruneRFEquiv
+			return nil
+		}
 		return s.threads[cands[0]]
 	}
 	if d.depth < len(d.decisions) {
@@ -537,6 +584,13 @@ func (d *dfsChooser) pickThread(s *System, enabled []*Thread) *Thread {
 			}
 		}
 		return s.threads[nd.cands[nd.chosen]]
+	}
+	if s.cfg.Reduce.RF && s.rfStateSeen('s', nil, nil) {
+		// Fresh scheduling branch point in an already-witnessed state
+		// (under a no-larger sleep set): every continuation re-derives a
+		// registered rf class. The caller (nextThread) reads pruneReason.
+		s.pruneReason = pruneRFEquiv
+		return nil
 	}
 	d.decisions = append(d.decisions, decision{kind: 's', cands: append([]int(nil), cands...), callIdx: d.vpos})
 	d.depth++
@@ -556,13 +610,7 @@ func (d *dfsChooser) advanceFrom(floor int) bool {
 		nd := &d.decisions[i]
 		if nd.kind == 's' {
 			nd.explored = append(nd.explored, nd.cands[nd.chosen])
-			next := -1
-			for j, tid := range nd.cands {
-				if !contains(nd.explored, tid) {
-					next = j
-					break
-				}
-			}
+			next := nextUnexplored(nd.cands, nd.explored)
 			if next >= 0 {
 				nd.chosen = next
 				d.decisions = d.decisions[:i+1]
@@ -626,6 +674,43 @@ func (d *dfsChooser) rootBranch() int {
 	return d.decisions[0].chosen
 }
 
+// nextUnexplored returns the index of the first candidate whose subtree
+// is not yet explored, or -1. Thread ids are small, so membership is one
+// bitmask over ids — O(cands + explored) — instead of the quadratic
+// scan-per-candidate it replaces (hot on wide scheduling nodes: the scan
+// runs at every backtrack). Ids past the mask width fall back to the
+// linear scan, which remains the reference implementation (benchmarked
+// against it in explorer_bench_test.go).
+func nextUnexplored(cands, explored []int) int {
+	var mask uint64
+	for _, tid := range explored {
+		if tid >= 64 {
+			return nextUnexploredSlow(cands, explored)
+		}
+		mask |= 1 << uint(tid)
+	}
+	for j, tid := range cands {
+		if tid >= 64 {
+			return nextUnexploredSlow(cands, explored)
+		}
+		if mask&(1<<uint(tid)) == 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// nextUnexploredSlow is the pre-bitmask scan, kept as the fallback for
+// thread ids beyond the mask width.
+func nextUnexploredSlow(cands, explored []int) int {
+	for j, tid := range cands {
+		if !contains(explored, tid) {
+			return j
+		}
+	}
+	return -1
+}
+
 func contains(xs []int, x int) bool {
 	for _, v := range xs {
 		if v == x {
@@ -646,6 +731,9 @@ type randChooser struct {
 // pinnedFloor: random walks never replay a prefix, so value sites always
 // compute fresh.
 func (r *randChooser) pinnedFloor() (*floorRec, bool) { return nil, false }
+
+// freshDecision: walks never replay, so every decision is fresh.
+func (r *randChooser) freshDecision() bool { return true }
 
 func (r *randChooser) noteFloor(rec floorRec) *floorRec {
 	r.scratchRec = rec
@@ -675,6 +763,26 @@ func (r *randChooser) choose(n int, kind byte) int {
 }
 
 func (r *randChooser) pickThread(s *System, enabled []*Thread) *Thread {
+	if s.cfg.Reduce.Spinloop {
+		// Drop provably futile spinners unless that would drop everyone
+		// (the remaining futile spinners still drive livelock detection).
+		live := 0
+		for _, t := range enabled {
+			if !s.spinBlocked(t) {
+				live++
+			}
+		}
+		if live > 0 && live < len(enabled) {
+			s.redSpinBounds += len(enabled) - live
+			out := enabled[:0]
+			for _, t := range enabled {
+				if !s.spinBlocked(t) {
+					out = append(out, t)
+				}
+			}
+			enabled = out
+		}
+	}
 	if r.stats != nil && len(enabled) > 1 {
 		r.stats.ScheduleBranchPoints++
 	}
@@ -701,6 +809,13 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any,
 	res.Stats.ExploreTime += time.Since(exploreStart)
 	res.Stats.TotalSteps += sys.stepCount
 	res.Stats.StoreBufferEvictions += sys.evictions
+	res.Stats.SpinloopBounds += sys.redSpinBounds
+	res.Stats.SymmetryPrunes += sys.redSymPrunes
+	if c.rfSeen != nil {
+		// Monotone live snapshot for progress gauges; Explore overwrites
+		// it with the exact final count when the run ends.
+		res.Stats.RFClasses = int(c.rfSeen.classes.Load())
+	}
 
 	failed := false
 	failures := 0
@@ -712,6 +827,8 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any,
 			res.Stats.PrunedFairness++
 		case pruneStepBound:
 			res.Stats.PrunedStepBound++
+		case pruneRFEquiv:
+			res.Stats.RFEquivPrunes++
 		default:
 			res.Stats.PrunedSleepSet++
 		}
@@ -721,6 +838,7 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any,
 		failures = 1
 	default:
 		res.Feasible++
+		sys.noteCompleteExecution()
 		if c.OnExecution != nil {
 			specStart := time.Now()
 			fails := c.OnExecution(sys)
@@ -745,7 +863,8 @@ func runOne(c *Config, res *Result, ch chooser, root func(*Thread), scratch any,
 		}
 	}
 	if c.progress != nil {
-		c.progress.observe(!sys.pruned && sys.failure == nil, sys.pruned, failures, sys.specReport.CacheHits)
+		c.progress.observe(!sys.pruned && sys.failure == nil, sys.pruned, failures, sys.specReport.CacheHits,
+			sys.pruneReason == pruneRFEquiv, sys.redSymPrunes, sys.redSpinBounds)
 	}
 	return failed
 }
@@ -786,6 +905,9 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 	c := cfg.withDefaults()
 	if c.Progress != nil {
 		c.progress = newProgressTracker(c.Progress, c.ProgressInterval, c.MaxExecutions)
+		if c.rfSeen != nil {
+			c.progress.attachClasses(&c.rfSeen.classes)
+		}
 		defer c.progress.close()
 	}
 	// Engine routing — the precedence documented on Config.RandomWalk:
@@ -803,6 +925,13 @@ func Explore(cfg Config, root func(*Thread)) *Result {
 	res := &Result{}
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
+	defer func() {
+		if c.rfSeen != nil {
+			// Exact final class count (the per-run snapshots in runOne are
+			// monotone but may trail the registry).
+			res.Stats.RFClasses = int(c.rfSeen.classes.Load())
+		}
+	}()
 
 	d := newDFSChooser(c)
 	d.stats = &res.Stats
@@ -882,7 +1011,11 @@ func (s *System) nextThread() *Thread {
 	t := s.chooser.pickThread(s, enabled)
 	if t == nil {
 		s.pruned = true
-		s.pruneReason = pruneSleepSet
+		if s.pruneReason == pruneNone {
+			// pickThread may have set pruneRFEquiv; the default nil
+			// meaning is sleep-set redundancy.
+			s.pruneReason = pruneSleepSet
+		}
 		s.aborted = true
 		return nil
 	}

@@ -1,0 +1,59 @@
+package checker
+
+import "testing"
+
+// Benchmarks for the backtrack-path candidate scan: nextUnexplored's
+// bitmask membership against the linear reference scan it replaced.
+// advance runs the scan on every backtrack, so wide scheduling nodes
+// (many runnable threads, most already explored) make it hot.
+
+// benchNode builds a width-w scheduling node that has explored all but
+// the last candidate — the worst case for the scan, and the common one
+// late in a node's lifetime.
+func benchNode(w int) (cands, explored []int) {
+	cands = make([]int, w)
+	for i := range cands {
+		cands[i] = i
+	}
+	explored = append([]int(nil), cands[:w-1]...)
+	return cands, explored
+}
+
+func benchmarkNextUnexplored(b *testing.B, w int, fn func(cands, explored []int) int) {
+	cands, explored := benchNode(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fn(cands, explored) != w-1 {
+			b.Fatal("scan missed the unexplored candidate")
+		}
+	}
+}
+
+func BenchmarkNextUnexploredBitmask4(b *testing.B)  { benchmarkNextUnexplored(b, 4, nextUnexplored) }
+func BenchmarkNextUnexploredSlow4(b *testing.B)     { benchmarkNextUnexplored(b, 4, nextUnexploredSlow) }
+func BenchmarkNextUnexploredBitmask16(b *testing.B) { benchmarkNextUnexplored(b, 16, nextUnexplored) }
+func BenchmarkNextUnexploredSlow16(b *testing.B)    { benchmarkNextUnexplored(b, 16, nextUnexploredSlow) }
+func BenchmarkNextUnexploredBitmask64(b *testing.B) { benchmarkNextUnexplored(b, 64, nextUnexplored) }
+func BenchmarkNextUnexploredSlow64(b *testing.B)    { benchmarkNextUnexplored(b, 64, nextUnexploredSlow) }
+
+// TestNextUnexploredMatchesSlow cross-checks the bitmask scan against
+// the reference on exhaustive small cases, including ids past the mask
+// width (the fallback path).
+func TestNextUnexploredMatchesSlow(t *testing.T) {
+	cases := []struct{ cands, explored []int }{
+		{nil, nil},
+		{[]int{0}, nil},
+		{[]int{0}, []int{0}},
+		{[]int{2, 0, 1}, []int{0}},
+		{[]int{2, 0, 1}, []int{2, 0, 1}},
+		{[]int{5, 3, 9}, []int{3, 9}},
+		{[]int{70, 1}, []int{70}},    // id past mask width: fallback
+		{[]int{1, 70}, []int{1, 70}}, // fallback, exhausted
+	}
+	for _, tc := range cases {
+		got, want := nextUnexplored(tc.cands, tc.explored), nextUnexploredSlow(tc.cands, tc.explored)
+		if got != want {
+			t.Errorf("nextUnexplored(%v, %v) = %d, want %d", tc.cands, tc.explored, got, want)
+		}
+	}
+}

@@ -74,6 +74,10 @@ func (f *fastChooser) intn(n int) int { return int(f.next() % uint64(n)) }
 // compute fresh.
 func (f *fastChooser) pinnedFloor() (*floorRec, bool) { return nil, false }
 
+// freshDecision: fast runs never replay. (Moot in practice — Validate
+// rejects FastMode with any reduction enabled.)
+func (f *fastChooser) freshDecision() bool { return true }
+
 func (f *fastChooser) noteFloor(rec floorRec) *floorRec {
 	f.scratchRec = rec
 	return &f.scratchRec

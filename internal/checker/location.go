@@ -97,6 +97,13 @@ type location struct {
 	// floorCache[tid] memoizes visibleFloor per thread.
 	floorCache []floorEntry
 
+	// Canonical identity and modification-order stream for the reduction
+	// fingerprint (reduce.go); id is allocation-order-dependent, this
+	// pair is not.
+	canonA   uint64
+	canonSeq uint32
+	fpMo     fpPair
+
 	// Per-thread latest-access vectors for exact O(threads) race checks
 	// (C11Tester-style): readSeq[tid]/writeSeq[tid] is the tseq of thread
 	// tid's newest read/write of this location, 0 if none (real accesses

@@ -92,6 +92,13 @@ type Mutex struct {
 	name  string
 	owner int
 	clock *memmodel.ClockVector
+
+	// Canonical identity and acquisition-order stream for the reduction
+	// fingerprint (reduce.go); id is allocation-order-dependent, this
+	// pair is not.
+	canonA   uint64
+	canonSeq uint32
+	fp       fpPair
 }
 
 // Name returns the mutex's debug name.
@@ -120,6 +127,8 @@ func (m *Mutex) Lock(t *Thread) {
 		t.clockEpoch++
 	}
 	t.sys.record(t, memmodel.KindLock, memmodel.Acquire, nil, 0)
+	t.sys.fpMutexOp(m, fpOpLock, t, 1)
+	t.spinClear()
 	t.sys.sleep.wake(pendSig{class: sigMutex, loc: m.id, write: true})
 }
 
@@ -131,6 +140,8 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		t.tseq++
 		t.clock.Set(t.id, t.tseq)
 		t.sys.record(t, memmodel.KindLock, memmodel.Relaxed, nil, 0)
+		t.sys.fpMutexOp(m, fpOpTryLock, t, 0)
+		t.spinClear()
 		return false
 	}
 	m.owner = t.id
@@ -141,6 +152,8 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		t.clockEpoch++
 	}
 	t.sys.record(t, memmodel.KindLock, memmodel.Acquire, nil, 0)
+	t.sys.fpMutexOp(m, fpOpTryLock, t, 1)
+	t.spinClear()
 	t.sys.sleep.wake(pendSig{class: sigMutex, loc: m.id, write: true})
 	return true
 }
@@ -162,5 +175,7 @@ func (m *Mutex) Unlock(t *Thread) {
 	m.owner = -1
 	t.sys.storeEpoch++ // an unlock can unblock spinners and lock-waiters
 	t.sys.record(t, memmodel.KindUnlock, memmodel.Release, nil, 0)
+	t.sys.fpMutexOp(m, fpOpUnlock, t, 0)
+	t.spinClear()
 	t.sys.sleep.wake(pendSig{class: sigMutex, loc: m.id, write: true})
 }

@@ -81,6 +81,11 @@ func (p *execPool) take(cfg *Config, ch chooser, execIndex int, scratch any) *Sy
 	s.pruneReason = pruneNone
 	s.failure = nil
 	s.mutexCount = 0
+	s.mutexes = s.mutexes[:0]
+	s.symClasses = s.symClasses[:0]
+	s.fpSC = fpPair{}
+	s.redSpinBounds = 0
+	s.redSymPrunes = 0
 	s.actionCount = 0
 	s.lastActID = 0
 	s.evictions = 0

@@ -27,6 +27,15 @@ type Progress struct {
 	// work-stealing DFS engine.
 	Steals   int
 	Frontier int
+	// RFEquivPrunes, SymmetryPrunes and SpinloopBounds mirror the
+	// execution-equivalence reduction counters in Stats for the work so
+	// far, and RFClasses is the live count of distinct execution-graph
+	// equivalence classes witnessed (a gauge on the shared registry). All
+	// four stay zero when Config.Reduce is unset.
+	RFEquivPrunes  int
+	SymmetryPrunes int
+	SpinloopBounds int
+	RFClasses      int
 	// Elapsed is the wall clock since the exploration started.
 	Elapsed time.Duration
 	// ExecsPerSec is the average execution rate so far.
@@ -52,16 +61,21 @@ type progressTracker struct {
 	maxExecs int
 	start    time.Time
 
-	execs     atomic.Int64
-	feasible  atomic.Int64
-	pruned    atomic.Int64
-	fails     atomic.Int64
-	cacheHits atomic.Int64
+	execs      atomic.Int64
+	feasible   atomic.Int64
+	pruned     atomic.Int64
+	fails      atomic.Int64
+	cacheHits  atomic.Int64
+	rfPrunes   atomic.Int64
+	symPrunes  atomic.Int64
+	spinBounds atomic.Int64
 
 	// steals/frontier are gauges owned by the work-stealing engine,
-	// attached before its workers start (nil otherwise).
+	// attached before its workers start (nil otherwise); classes is the
+	// rf seen-set's live class counter, attached when Reduce.RF is on.
 	steals   *atomic.Int64
 	frontier *atomic.Int64
+	classes  *atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -71,6 +85,11 @@ type progressTracker struct {
 func (t *progressTracker) attachEngine(steals, frontier *atomic.Int64) {
 	t.steals = steals
 	t.frontier = frontier
+}
+
+// attachClasses points the tracker at the rf seen-set's class counter.
+func (t *progressTracker) attachClasses(classes *atomic.Int64) {
+	t.classes = classes
 }
 
 func newProgressTracker(fn func(Progress), interval time.Duration, maxExecs int) *progressTracker {
@@ -99,8 +118,10 @@ func (t *progressTracker) loop(interval time.Duration) {
 	}
 }
 
-// observe folds one completed execution into the tracker.
-func (t *progressTracker) observe(feasible, pruned bool, failures, cacheHits int) {
+// observe folds one completed execution into the tracker. rfPrune marks
+// an execution cut by the rf-equivalence reduction; symPrunes/spinBounds
+// are the execution's reduction-counter deltas (zero with Reduce unset).
+func (t *progressTracker) observe(feasible, pruned bool, failures, cacheHits int, rfPrune bool, symPrunes, spinBounds int) {
 	t.execs.Add(1)
 	if feasible {
 		t.feasible.Add(1)
@@ -114,23 +135,38 @@ func (t *progressTracker) observe(feasible, pruned bool, failures, cacheHits int
 	if cacheHits > 0 {
 		t.cacheHits.Add(int64(cacheHits))
 	}
+	if rfPrune {
+		t.rfPrunes.Add(1)
+	}
+	if symPrunes > 0 {
+		t.symPrunes.Add(int64(symPrunes))
+	}
+	if spinBounds > 0 {
+		t.spinBounds.Add(int64(spinBounds))
+	}
 }
 
 func (t *progressTracker) snapshot(final bool) Progress {
 	p := Progress{
-		Executions:    int(t.execs.Load()),
-		Feasible:      int(t.feasible.Load()),
-		Pruned:        int(t.pruned.Load()),
-		Failures:      int(t.fails.Load()),
-		SpecCacheHits: int(t.cacheHits.Load()),
-		Elapsed:       time.Since(t.start),
-		Final:         final,
+		Executions:     int(t.execs.Load()),
+		Feasible:       int(t.feasible.Load()),
+		Pruned:         int(t.pruned.Load()),
+		Failures:       int(t.fails.Load()),
+		SpecCacheHits:  int(t.cacheHits.Load()),
+		RFEquivPrunes:  int(t.rfPrunes.Load()),
+		SymmetryPrunes: int(t.symPrunes.Load()),
+		SpinloopBounds: int(t.spinBounds.Load()),
+		Elapsed:        time.Since(t.start),
+		Final:          final,
 	}
 	if t.steals != nil {
 		p.Steals = int(t.steals.Load())
 	}
 	if t.frontier != nil {
 		p.Frontier = int(t.frontier.Load())
+	}
+	if t.classes != nil {
+		p.RFClasses = int(t.classes.Load())
 	}
 	if secs := p.Elapsed.Seconds(); secs > 0 {
 		p.ExecsPerSec = float64(p.Executions) / secs

@@ -1,0 +1,79 @@
+package checker
+
+import "testing"
+
+// TestParseReduce: flag-value parsing round-trips through the canonical
+// String form, and garbage is rejected with the valid values named.
+func TestParseReduce(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ReduceSet
+	}{
+		{"", ReduceSet{}},
+		{"none", ReduceSet{}},
+		{"all", ReduceAll()},
+		{"rf", ReduceSet{RF: true}},
+		{"symmetry", ReduceSet{Symmetry: true}},
+		{"spinloop", ReduceSet{Spinloop: true}},
+		{"rf,spinloop", ReduceSet{RF: true, Spinloop: true}},
+		{"spinloop, rf", ReduceSet{RF: true, Spinloop: true}}, // order/space insensitive
+		{"rf,rf", ReduceSet{RF: true}},
+		{"rf,symmetry,spinloop", ReduceAll()},
+	}
+	for _, tc := range cases {
+		got, err := ParseReduce(tc.in)
+		if err != nil {
+			t.Errorf("ParseReduce(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseReduce(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		// The canonical String form must parse back to the same set.
+		back, err := ParseReduce(got.String())
+		if err != nil || back != got {
+			t.Errorf("ParseReduce(%q).String() = %q does not round-trip (%+v, %v)",
+				tc.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"bogus", "rf,bogus", "rf;spinloop", "ALL"} {
+		if _, err := ParseReduce(bad); err == nil {
+			t.Errorf("ParseReduce(%q) accepted", bad)
+		}
+	}
+	if got := (ReduceSet{}).String(); got != "none" {
+		t.Errorf("zero set String() = %q, want none", got)
+	}
+	if got := ReduceAll().String(); got != "rf,symmetry,spinloop" {
+		t.Errorf("ReduceAll().String() = %q", got)
+	}
+}
+
+// TestReduceConfigValidate: the sampling engines have no frontier to
+// prune — FastMode rejects every reduction, RandomWalk rejects rf and
+// symmetry but composes with spinloop filtering; the DFS engines accept
+// everything.
+func TestReduceConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"fastmode+rf", Config{FastMode: true, MaxExecutions: 1, Reduce: ReduceSet{RF: true}}, false},
+		{"fastmode+spinloop", Config{FastMode: true, MaxExecutions: 1, Reduce: ReduceSet{Spinloop: true}}, false},
+		{"randomwalk+rf", Config{RandomWalk: 10, Reduce: ReduceSet{RF: true}}, false},
+		{"randomwalk+symmetry", Config{RandomWalk: 10, Reduce: ReduceSet{Symmetry: true}}, false},
+		{"randomwalk+spinloop", Config{RandomWalk: 10, Reduce: ReduceSet{Spinloop: true}}, true},
+		{"sequential+all", Config{Reduce: ReduceAll()}, true},
+		{"worksteal+all", Config{Parallelism: 4, Reduce: ReduceAll()}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() accepted", tc.name)
+		}
+	}
+}

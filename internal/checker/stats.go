@@ -9,9 +9,13 @@ import "time"
 // bit-identical between an exhaustive sequential run and an exhaustive
 // parallel run (the merge sums them in branch order); only the timing
 // fields differ, since parallel workers accumulate wall clock
-// concurrently.
+// concurrently. (One exception: with Reduce.RF enabled at Parallelism > 1
+// the prune/execution split depends on which racing worker registers a
+// state first — the behavior set and RFClasses stay invariant, the
+// counters do not.)
 type Stats struct {
-	// Prune-reason split of Result.Pruned; the three always sum to it.
+	// Prune-reason split of Result.Pruned; together with RFEquivPrunes
+	// below, the reasons always sum to it.
 	//
 	// PrunedSleepSet counts interleavings abandoned because every enabled
 	// thread was asleep (the sleep-set reduction proved the suffix
@@ -21,6 +25,25 @@ type Stats struct {
 	PrunedSleepSet  int `json:"pruned_sleep_set"`
 	PrunedFairness  int `json:"pruned_fairness"`
 	PrunedStepBound int `json:"pruned_step_bound"`
+
+	// Execution-equivalence reduction counters (Config.Reduce; reduce.go).
+	//
+	// RFEquivPrunes counts subtrees cut because the branch-point state was
+	// already registered by an equal-fingerprint visit (Reduce.RF) — part
+	// of the Result.Pruned split. RFClasses is the number of distinct
+	// execution-graph equivalence classes among the feasible executions;
+	// it is deterministic at any Parallelism (every class is witnessed at
+	// least once and counted once), unlike the prune counters, whose split
+	// under parallel RF depends on which racing worker registers a state
+	// first. SymmetryPrunes counts scheduling candidates dropped because a
+	// lower-id never-started twin covers them (Reduce.Symmetry).
+	// SpinloopBounds counts spin-iteration branches removed — futile
+	// spinners excluded from scheduling plus stale re-reads floored past
+	// the previous iteration's store (Reduce.Spinloop).
+	RFEquivPrunes  int `json:"rf_equiv_prunes,omitempty"`
+	RFClasses      int `json:"rf_classes,omitempty"`
+	SymmetryPrunes int `json:"symmetry_prunes,omitempty"`
+	SpinloopBounds int `json:"spinloop_bounds,omitempty"`
 
 	// RFBranchPoints counts value-nondeterminism decision nodes opened by
 	// the explorer (reads-from choices and CAS outcomes with more than
@@ -121,6 +144,14 @@ func (s *Stats) Merge(o *Stats) {
 	s.PrunedSleepSet += o.PrunedSleepSet
 	s.PrunedFairness += o.PrunedFairness
 	s.PrunedStepBound += o.PrunedStepBound
+	s.RFEquivPrunes += o.RFEquivPrunes
+	if o.RFClasses > s.RFClasses {
+		// A live class-count snapshot is monotone, not additive: every
+		// worker reads the same shared registry.
+		s.RFClasses = o.RFClasses
+	}
+	s.SymmetryPrunes += o.SymmetryPrunes
+	s.SpinloopBounds += o.SpinloopBounds
 	s.RFBranchPoints += o.RFBranchPoints
 	s.ScheduleBranchPoints += o.ScheduleBranchPoints
 	s.ReplayedDecisions += o.ReplayedDecisions

@@ -157,9 +157,9 @@ func TestProgressTrackerETA(t *testing.T) {
 	var finals []Progress
 	tr := newProgressTracker(func(p Progress) { finals = append(finals, p) }, time.Hour, 100)
 	for i := 0; i < 10; i++ {
-		tr.observe(i%2 == 0, i%2 != 0, 0, 0)
+		tr.observe(i%2 == 0, i%2 != 0, 0, 0, false, 0, 0)
 	}
-	tr.observe(false, false, 3, 2)
+	tr.observe(false, false, 3, 2, false, 0, 0)
 	time.Sleep(time.Millisecond) // ensure a measurable elapsed for the rate
 	p := tr.snapshot(false)
 	if p.Executions != 11 || p.Feasible != 5 || p.Pruned != 5 || p.Failures != 3 {
@@ -175,7 +175,7 @@ func TestProgressTrackerETA(t *testing.T) {
 	// At the cap there is nothing left to estimate.
 	tr2 := newProgressTracker(func(Progress) {}, time.Hour, 5)
 	for i := 0; i < 5; i++ {
-		tr2.observe(true, false, 0, 0)
+		tr2.observe(true, false, 0, 0, false, 0, 0)
 	}
 	if p := tr2.snapshot(false); p.ETA != 0 {
 		t.Errorf("ETA should be zero at MaxExecutions: %+v", p)

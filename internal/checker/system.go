@@ -28,6 +28,13 @@ type chooser interface {
 	// current value-site position and returns a pointer the caller may
 	// update with resolved-choice bookkeeping (see doCAS).
 	noteFloor(rec floorRec) *floorRec
+	// freshDecision reports whether the next decision would open a fresh
+	// node, past any replayed prefix. The reduction layer (reduce.go)
+	// checks and counts only at fresh nodes: a replayed branch point was
+	// registered by its own first visit and must not re-check (it would
+	// prune itself), and counting once per fresh visit keeps sequential
+	// and parallel totals identical.
+	freshDecision() bool
 }
 
 // floorRec is the visibility computation of one value-nondeterminism
@@ -73,6 +80,19 @@ type System struct {
 	pruneReason pruneReason
 	failure     *Failure
 	mutexCount  int
+
+	// Reduction state (reduce.go): the registry of mutexes created this
+	// execution (canonical identity for fingerprints and sleep
+	// signatures), the thread-symmetry classes, the incremental seq_cst
+	// order stream, the sleep-signature scratch buffer, and the per-run
+	// reduction counters runOne folds into Stats (counted at fresh
+	// decisions only, so any worker count agrees).
+	mutexes       []*Mutex
+	symClasses    []symClass
+	fpSC          fpPair
+	fpSleepBuf    []uint64
+	redSpinBounds int
+	redSymPrunes  int
 
 	// schedDone is how the baton-passing scheduler returns control to
 	// runExecution: scheduling decisions run inline in whichever thread
@@ -168,6 +188,7 @@ const (
 	pruneSleepSet              // every enabled thread asleep: redundant interleaving
 	pruneFairness              // spinner ignored a newer store: unfair execution
 	pruneStepBound             // Config.MaxSteps exceeded
+	pruneRFEquiv               // prefix re-derives a witnessed equivalence class
 )
 
 // failf records a failure and abandons the current execution by
@@ -259,9 +280,23 @@ func (s *System) newPlain(name string) *Plain {
 // the threads that synchronized with anything the creator did afterwards.
 func (s *System) newLocation(name string, atomic bool) *location {
 	tid, tseq := 0, uint32(0)
+	var canonA uint64
+	var canonSeq uint32
 	if len(s.threads) > 0 {
 		if t := s.creatingThread(); t != nil {
 			tid, tseq = t.id, t.tseq+1
+			// An allocation is a side effect: a loop iteration that
+			// allocates is never a pure spin iteration.
+			t.spinClear()
+			if s.cfg.rfSeen != nil {
+				// Canonical identity: (creator's canonical id, per-creator
+				// allocation index). Unlike l.id — whose assignment order
+				// leaks the interleaving of allocations on different
+				// threads — this pair is a function of the creating
+				// thread's own history.
+				t.allocSeq++
+				canonA, canonSeq = s.canonOf(t.id), t.allocSeq
+			}
 		}
 	}
 	var l *location
@@ -275,6 +310,8 @@ func (s *System) newLocation(name string, atomic bool) *location {
 	l.atomic = atomic
 	l.creatorTid = tid
 	l.creatorTSeq = tseq
+	l.canonA, l.canonSeq = canonA, canonSeq
+	l.fpMo = fpPair{}
 	s.locs = append(s.locs, l)
 	return l
 }
@@ -308,6 +345,11 @@ func (s *System) checkLifetime(t *Thread, loc *location, what string) {
 // The caller must already have bumped t.tseq and applied any clock merges
 // the action performs.
 func (s *System) record(t *Thread, kind memmodel.Kind, ord memmodel.MemOrder, loc *location, v memmodel.Value) *memmodel.Action {
+	if s.cfg.rfSeen != nil && t.canon == 0 {
+		// First action of this thread: assign its canonical id (symmetry-
+		// class members draw slots in first-action order).
+		s.assignCanon(t)
+	}
 	if s.cfg.FastMode {
 		return s.recordFast(t, kind, ord, loc, v)
 	}
@@ -772,10 +814,13 @@ func (s *System) checkPublished(t *Thread, loc *location, published bool, what s
 // panics on any mismatch — the DebugReplayCheck guard that frozen-prefix
 // replay really is deterministic. A mismatch is an internal invariant
 // violation, never a property of the checked program.
-func (s *System) validatePin(t *Thread, loc *location, ord memmodel.MemOrder, rec *floorRec) {
+func (s *System) validatePin(t *Thread, loc *location, ord memmodel.MemOrder, rec *floorRec, spinPrev int) {
 	floor, published := s.rules().scanFloor(s, t, loc, ord)
 	switch rec.kind {
 	case 'r':
+		if spinPrev >= 0 {
+			floor = s.spinBound(t, loc, spinPrev, floor)
+		}
 		n := loc.moNext() - floor
 		if floor != rec.floor || published != rec.published || n != rec.n {
 			panic(fmt.Sprintf("checker: replay pin mismatch at load of %s: pinned floor=%d published=%v n=%d, recomputed floor=%d published=%v n=%d",
@@ -834,6 +879,9 @@ func (s *System) assignSCIndex(act *memmodel.Action, ord memmodel.MemOrder) {
 	if ord.IsSeqCst() {
 		act.SCIndex = s.scCount
 		s.scCount++
+		if s.cfg.rfSeen != nil {
+			s.fpSCOp(s.threads[act.Thread], uint64(act.Kind))
+		}
 	}
 }
 
@@ -844,13 +892,21 @@ func (s *System) assignSCIndex(act *memmodel.Action, ord memmodel.MemOrder) {
 // was first executed, and replay re-creates the identical state.
 func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmodel.Value {
 	s.bumpStep()
+	// Resolve the armed spin re-read bound up front, identically on the
+	// fresh and the replayed path: replay must evolve the spin state the
+	// same way the original run did.
+	spinPrev := -1
+	if s.cfg.Reduce.Spinloop && t.spinLoc == loc {
+		spinPrev = t.spinRF
+		t.spinLoc = nil
+	}
 	var floor, n int
 	if rec, ok := s.chooser.pinnedFloor(); ok {
 		if rec.kind != 'r' {
 			panic(fmt.Sprintf("checker: replay pin desync: load of %s got record kind %q", loc.name, rec.kind))
 		}
 		if s.cfg.DebugReplayCheck {
-			s.validatePin(t, loc, ord, rec)
+			s.validatePin(t, loc, ord, rec, spinPrev)
 		}
 		floor, n = rec.floor, rec.n
 	} else {
@@ -865,7 +921,14 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 		var published bool
 		floor, published = s.rules().loadFloor(s, t, loc, ord)
 		s.checkPublished(t, loc, published, "atomic load")
+		if spinPrev >= 0 {
+			if b := s.spinBound(t, loc, spinPrev, floor); b != floor {
+				floor = b
+				s.countSpinBound()
+			}
+		}
 		n = loc.moNext() - floor
+		s.rfCheck('r', t, loc, n)
 		s.chooser.noteFloor(floorRec{kind: 'r', floor: floor, published: published, n: n})
 	}
 	var idx int
@@ -892,6 +955,7 @@ func (s *System) doLoad(t *Thread, loc *location, ord memmodel.MemOrder) memmode
 	s.noteOwnLoad(t, loc, idx)
 	setSeq(&loc.readSeq, t.id, t.tseq)
 	s.noteRecentRead(t, loc, idx)
+	s.fpThreadOp(t, fpOpLoad, loc, uint64(idx)|uint64(ord)<<32, uint64(st.act.Value))
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: ord.IsSeqCst()})
 	return st.act.Value
 }
@@ -914,6 +978,7 @@ const fastRecentReadsCap = 64
 // from doRMW (release-sequence continuation).
 func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memmodel.Value, rfSync *memmodel.ClockVector) *memmodel.Action {
 	s.bumpStep()
+	t.spinClear()
 	s.checkLifetime(t, loc, "atomic store")
 	s.checkMixed(t, loc, loc.rawWriteSeq, memmodel.KindAtomicStore, "atomic store", "non-atomic store")
 	s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindAtomicStore, "atomic store", "non-atomic load")
@@ -932,6 +997,8 @@ func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memm
 	}
 	s.storeEpoch++
 	s.maybeEvict(loc)
+	s.fpMoOp(loc, fpOpStore, t, uint64(v))
+	s.fpThreadOp(t, fpOpStore, loc, uint64(act.MOIndex)|uint64(ord)<<32, uint64(v))
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: ord.IsSeqCst()})
 	return act
 }
@@ -940,12 +1007,13 @@ func (s *System) doStore(t *Thread, loc *location, ord memmodel.MemOrder, v memm
 // read half observes the mo-latest store; the write half is mo-adjacent.
 func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(memmodel.Value) memmodel.Value) memmodel.Value {
 	s.bumpStep()
+	t.spinClear()
 	if rec, ok := s.chooser.pinnedFloor(); ok {
 		if rec.kind != 'm' {
 			panic(fmt.Sprintf("checker: replay pin desync: RMW of %s got record kind %q", loc.name, rec.kind))
 		}
 		if s.cfg.DebugReplayCheck {
-			s.validatePin(t, loc, ord, rec)
+			s.validatePin(t, loc, ord, rec, -1)
 		}
 	} else {
 		s.checkLifetime(t, loc, "atomic RMW")
@@ -985,6 +1053,8 @@ func (s *System) doRMW(t *Thread, loc *location, ord memmodel.MemOrder, f func(m
 	}
 	s.storeEpoch++
 	s.maybeEvict(loc)
+	s.fpMoOp(loc, fpOpRMW, t, uint64(act.Value))
+	s.fpThreadOp(t, fpOpRMW, loc, uint64(lastIdx)|uint64(ord)<<32, uint64(old))
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: ord.IsSeqCst()})
 	return old
 }
@@ -1035,6 +1105,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 			// so n == 0 implies canSucceed was the only branch.
 			s.failf(FailAPIMisuse, "CAS on %s with no outcome", loc.name)
 		}
+		s.rfCheck('c', t, loc, n)
 		rec = s.chooser.noteFloor(floorRec{
 			kind: 'c', floor: floor, published: published, n: n,
 			canSucceed: canSucceed, resolvedFor: -1,
@@ -1049,6 +1120,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		// non-atomic reads. Replay re-creates identical state, so running
 		// it unconditionally cannot fail a prefix that passed before.
 		s.checkMixed(t, loc, loc.rawReadSeq, memmodel.KindAtomicRMW, "CAS", "non-atomic load")
+		t.spinClear()
 		lastIdx := loc.lastStoreIdx()
 		last := *loc.store(lastIdx)
 		t.tseq++
@@ -1070,6 +1142,8 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 		}
 		s.storeEpoch++
 		s.maybeEvict(loc)
+		s.fpMoOp(loc, fpOpRMW, t, uint64(desired))
+		s.fpThreadOp(t, fpOpRMW, loc, uint64(lastIdx)|uint64(succOrd)<<32, uint64(expected))
 		s.sleep.wake(pendSig{class: sigMem, loc: loc.id, write: true, sc: succOrd.IsSeqCst()})
 		return expected, true
 	}
@@ -1108,6 +1182,7 @@ func (s *System) doCAS(t *Thread, loc *location, expected, desired memmodel.Valu
 	s.noteOwnLoad(t, loc, idx)
 	setSeq(&loc.readSeq, t.id, t.tseq)
 	s.noteRecentRead(t, loc, idx)
+	s.fpThreadOp(t, fpOpCASFail, loc, uint64(idx)|uint64(failOrd)<<32, uint64(st.act.Value))
 	s.sleep.wake(pendSig{class: sigMem, loc: loc.id, sc: failOrd.IsSeqCst()})
 	return st.act.Value, false
 }
@@ -1134,6 +1209,7 @@ func (s *System) validateCASPin(t *Thread, loc *location, expected memmodel.Valu
 // doFence implements a stand-alone fence.
 func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
 	s.bumpStep()
+	t.spinClear()
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	if ord.IsAcquire() {
@@ -1151,6 +1227,7 @@ func (s *System) doFence(t *Thread, ord memmodel.MemOrder) {
 	}
 	act := s.record(t, memmodel.KindFence, ord, nil, 0)
 	s.rules().assignSC(s, act, ord)
+	s.fpThreadOp(t, fpOpFence, nil, uint64(ord), 0)
 	s.sleep.wake(pendSig{class: sigFence, loc: -1, sc: ord.IsSeqCst()})
 	if act.SCIndex >= 0 {
 		t.lastSCFence = act.SCIndex
@@ -1249,6 +1326,7 @@ func (s *System) fastPlainLoad(t *Thread, loc *location) memmodel.Value {
 // doPlainStore implements a non-atomic store with race detection.
 func (s *System) doPlainStore(t *Thread, loc *location, v memmodel.Value) {
 	s.bumpStep()
+	t.spinClear()
 	s.checkLifetime(t, loc, "plain store")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
@@ -1291,6 +1369,8 @@ func (s *System) doPlainStore(t *Thread, loc *location, v memmodel.Value) {
 	loc.setLastStoreByThread(t.id, moIdx)
 	setSeq(&loc.writeSeq, t.id, t.tseq)
 	s.maybeEvict(loc)
+	s.fpMoOp(loc, fpOpPlainStore, t, uint64(v))
+	s.fpThreadOp(t, fpOpPlainStore, loc, uint64(moIdx), uint64(v))
 }
 
 // doRawLoad implements Atomic.RawLoad: a non-atomic load of an atomic
@@ -1300,6 +1380,9 @@ func (s *System) doPlainStore(t *Thread, loc *location, v memmodel.Value) {
 // Like plain accesses it is not a scheduling point.
 func (s *System) doRawLoad(t *Thread, loc *location) memmodel.Value {
 	s.bumpStep()
+	// A raw load is not tracked in recentReads, so an iteration
+	// containing one cannot be proven pure.
+	t.spinClear()
 	s.checkLifetime(t, loc, "non-atomic load")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
@@ -1326,6 +1409,7 @@ func (s *System) doRawLoad(t *Thread, loc *location) memmodel.Value {
 // no release clock) so subsequent atomic loads observe it.
 func (s *System) doRawStore(t *Thread, loc *location, v memmodel.Value) {
 	s.bumpStep()
+	t.spinClear()
 	s.checkLifetime(t, loc, "non-atomic store")
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
@@ -1342,4 +1426,6 @@ func (s *System) doRawStore(t *Thread, loc *location, v memmodel.Value) {
 	// Atomic readers use the visibility cache; the new store must miss it.
 	s.storeEpoch++
 	s.maybeEvict(loc)
+	s.fpMoOp(loc, fpOpRawStore, t, uint64(v))
+	s.fpThreadOp(t, fpOpRawStore, loc, uint64(moIdx), uint64(v))
 }

@@ -81,6 +81,29 @@ type Thread struct {
 	// (pruned); otherwise the stuck state is a genuine livelock.
 	recentReads []readRef
 
+	// Reduction state (reduce.go). canon is the schedule-independent
+	// canonical thread id (0 = not yet assigned); spawnKey the spawn-tree
+	// derived id computed at Spawn; spawnSeq counts this thread's spawns
+	// and allocSeq its location allocations (both feed canonical identity
+	// of children/locations); classIdx is the symmetry class (-1 = none);
+	// fp is the thread's operation-stream hash. The spin* fields drive
+	// the spinloop/await bound: spinPure tracks whether the current
+	// Yield-delimited iteration has performed any side effect, spinMuts
+	// the spec-monitor mutation count at its start, spinIterPure the
+	// frozen verdict for the iteration that just yielded, and
+	// spinLoc/spinRF the armed single-location re-read bound.
+	canon        uint64
+	spawnKey     uint64
+	spawnSeq     uint32
+	allocSeq     uint32
+	classIdx     int
+	fp           fpPair
+	spinPure     bool
+	spinIterPure bool
+	spinMuts     uint64
+	spinLoc      *location
+	spinRF       int
+
 	fn     func(*Thread)
 	resume chan struct{}
 	parked chan struct{}
@@ -97,6 +120,7 @@ func newThreadStruct(s *System, id int, name string, fn func(*Thread), clock *me
 		lastSCFence:     -1,
 		lastResortEpoch: ^uint64(0),
 		acqPending:      memmodel.NewClockVector(),
+		classIdx:        -1,
 		fn:              fn,
 		resume:          make(chan struct{}),
 		parked:          make(chan struct{}),
@@ -130,6 +154,17 @@ func (t *Thread) reset(s *System, name string, fn func(*Thread), src *memmodel.C
 	t.skipNextPark = false
 	t.pendSig = pendSig{}
 	t.recentReads = t.recentReads[:0]
+	t.canon = 0
+	t.spawnKey = 0
+	t.spawnSeq = 0
+	t.allocSeq = 0
+	t.classIdx = -1
+	t.fp = fpPair{}
+	t.spinPure = false
+	t.spinIterPure = false
+	t.spinMuts = 0
+	t.spinLoc = nil
+	t.spinRF = 0
 	t.fn = fn
 }
 
@@ -202,6 +237,15 @@ func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
 	t.clock.Set(t.id, t.tseq)
 	t.sys.record(t, memmodel.KindThreadCreate, memmodel.Relaxed, nil, 0)
 	child := t.sys.newThread(name, fn, t.clock)
+	if t.sys.cfg.Reduce.Symmetry {
+		t.sys.registerSymmetry(child, fn)
+	}
+	if t.sys.cfg.rfSeen != nil {
+		t.spawnSeq++
+		child.spawnKey = spawnCanon(t.canon, t.spawnSeq)
+		t.sys.fpThreadOp(t, fpOpSpawn, nil, child.spawnKey, 0)
+	}
+	t.spinClear()
 	return child
 }
 
@@ -225,6 +269,8 @@ func (t *Thread) Join(child *Thread) {
 		t.clockEpoch++
 	}
 	t.sys.record(t, memmodel.KindThreadJoin, memmodel.Relaxed, nil, 0)
+	t.sys.fpThreadOp(t, fpOpJoin, nil, t.sys.canonOf(child.id), 0)
+	t.spinClear()
 }
 
 // Yield parks the thread until some other thread changes shared state
@@ -236,7 +282,11 @@ func (t *Thread) Yield() {
 	t.tseq++
 	t.clock.Set(t.id, t.tseq)
 	t.sys.record(t, memmodel.KindYield, memmodel.Relaxed, nil, 0)
+	t.sys.fpThreadOp(t, fpOpYield, nil, 0, 0)
 	t.yieldEpoch = t.sys.storeEpoch
+	// Freeze the completed iteration's purity verdict and arm the
+	// re-read bound while recentReads still describes it (reduce.go).
+	t.spinPark()
 	t.pendSig = pendSig{class: sigYield, loc: -1}
 	t.state = tsYield
 	t.park()
@@ -245,6 +295,7 @@ func (t *Thread) Yield() {
 	// wake-up itself performs nothing visible).
 	t.recentReads = t.recentReads[:0]
 	t.skipNextPark = true
+	t.spinWake()
 }
 
 // Assert reports a failure of kind FailAssertion when cond is false.
@@ -288,7 +339,15 @@ func (t *Thread) NewPlainInit(name string, v memmodel.Value) *Plain {
 // NewMutex creates a mutex.
 func (t *Thread) NewMutex(name string) *Mutex {
 	t.sys.mutexCount++
-	return &Mutex{sys: t.sys, id: t.sys.mutexCount, name: name, owner: -1}
+	m := &Mutex{sys: t.sys, id: t.sys.mutexCount, name: name, owner: -1}
+	if t.sys.cfg.rfSeen != nil {
+		// Canonical identity, like newLocation's: (creator canonical id,
+		// per-creator allocation index).
+		t.allocSeq++
+		m.canonA, m.canonSeq = t.sys.canonOf(t.id), t.allocSeq
+	}
+	t.sys.mutexes = append(t.sys.mutexes, m)
+	return m
 }
 
 // threadMain is the goroutine body of a simulated thread.

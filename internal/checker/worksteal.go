@@ -162,6 +162,12 @@ func exploreWorkSteal(c *Config, root func(*Thread)) *Result {
 		res.Stats.MaxFrontier = e.priorMaxFrontier
 	}
 	res.Stats.WorkerBusy += time.Duration(e.busy.Load())
+	if c.rfSeen != nil {
+		// Exact final class count: the per-run snapshots folded from
+		// worker results are monotone reads of the shared registry and may
+		// trail it (see runOne); the workers have all stopped here.
+		res.Stats.RFClasses = int(c.rfSeen.classes.Load())
+	}
 	// Exhausted mirrors the sequential loop: true only when the frontier
 	// drained without a stop and without consuming the entire execution
 	// budget (sequential DFS returns before testing advance() once the

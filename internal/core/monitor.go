@@ -19,6 +19,9 @@ type Monitor struct {
 	// noScratch backs the check when no shard cache (and thus no shared
 	// checkScratch) is available — direct Check() calls from unit tests.
 	noScratch checkScratch
+	// muts counts spec-layer mutations per thread, for the checker's
+	// spinloop reduction (see ReduceThreadMuts in reduce.go).
+	muts map[int]uint64
 }
 
 // Install creates a Monitor for spec and hangs it off the system so the
@@ -78,6 +81,7 @@ func (m *Monitor) Begin(t *checker.Thread, name string, args ...memmodel.Value) 
 		return nil
 	}
 	tid := t.ID()
+	m.mut(tid)
 	m.depth[tid]++
 	if m.depth[tid] > 1 {
 		return &CallCtx{m: m, tid: tid} // nested: inert
@@ -93,6 +97,7 @@ func (x *CallCtx) End(t *checker.Thread, ret memmodel.Value) {
 	if x == nil {
 		return
 	}
+	x.m.mut(x.tid)
 	x.m.depth[x.tid]--
 	if x.call != nil {
 		x.call.Ret = ret
@@ -107,6 +112,7 @@ func (x *CallCtx) EndVoid(t *checker.Thread) {
 	if x == nil {
 		return
 	}
+	x.m.mut(x.tid)
 	x.m.depth[x.tid]--
 	if x.call != nil {
 		x.call.ended = true
@@ -121,6 +127,7 @@ func (x *CallCtx) SetAux(key string, v memmodel.Value) {
 	if x == nil || x.call == nil {
 		return
 	}
+	x.m.mut(x.tid)
 	x.call.SetAux(key, v)
 }
 
@@ -131,6 +138,7 @@ func (x *CallCtx) OPDefine(t *checker.Thread, cond bool) {
 		return
 	}
 	if a := t.LastAction(); a != nil {
+		x.m.mut(x.tid)
 		x.call.OPs = append(x.call.OPs, a)
 	}
 }
@@ -141,6 +149,7 @@ func (x *CallCtx) OPClear(t *checker.Thread, cond bool) {
 	if x == nil || x.call == nil || !cond {
 		return
 	}
+	x.m.mut(x.tid)
 	x.call.OPs = x.call.OPs[:0]
 	x.call.potentials = x.call.potentials[:0]
 }
@@ -164,6 +173,7 @@ func (x *CallCtx) PotentialOP(t *checker.Thread, label string, cond bool) {
 		return
 	}
 	if a := t.LastAction(); a != nil {
+		x.m.mut(x.tid)
 		x.call.potentials = append(x.call.potentials, potentialOP{label: label, act: a})
 	}
 }
@@ -174,6 +184,7 @@ func (x *CallCtx) OPCheck(t *checker.Thread, label string, cond bool) {
 	if x == nil || x.call == nil || !cond {
 		return
 	}
+	x.m.mut(x.tid)
 	kept := x.call.potentials[:0]
 	for _, p := range x.call.potentials {
 		if p.label == label {

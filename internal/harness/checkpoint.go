@@ -64,6 +64,13 @@ type CheckpointFile struct {
 	// NoCache changes the spec_cache_* counters, so a resume must match.
 	NoCache      bool `json:"nocache,omitempty"`
 	NoKernelOpts bool `json:"nokernelopts,omitempty"`
+	// Reduce records the execution-equivalence reduction set the frontier
+	// was explored under (checker.ReduceSet canonical string). Like Model
+	// it shapes the explored space — a reduced frontier has already pruned
+	// subtrees an unreduced resume would expect to visit — so a resume
+	// must match (ValidateReduce). Files written before the reduction
+	// layer existed omit the field; absence means no reduction.
+	Reduce string `json:"reduce,omitempty"`
 	// State is the checker's frontier snapshot.
 	State *checker.Checkpoint `json:"state"`
 }
@@ -83,6 +90,31 @@ func (cf *CheckpointFile) ValidateModel(requested model.ID) error {
 	if requested.OrDefault() != cf.ModelID() {
 		return fmt.Errorf("checkpoint was explored under memory model %q but resume requested %q: a frontier is only valid under the model that produced it (re-explore from scratch to switch models)",
 			cf.ModelID(), requested.OrDefault())
+	}
+	return nil
+}
+
+// ReduceSet resolves the envelope's reduction set with back-compat: an
+// absent field means the checkpoint predates the reduction layer and was
+// necessarily explored unreduced (ParseReduce maps "" to the zero set).
+func (cf *CheckpointFile) ReduceSet() checker.ReduceSet {
+	r, err := checker.ParseReduce(cf.Reduce)
+	if err != nil {
+		// ReadCheckpointFile validates the field; an invalid value can only
+		// reach here through a hand-built envelope.
+		return checker.ReduceSet{}
+	}
+	return r
+}
+
+// ValidateReduce checks that a resume requested under the given reduction
+// set can legally continue this checkpoint's frontier. Like the model, the
+// reduction shapes the explored space: a reduced frontier has already cut
+// subtrees an unreduced continuation would need to visit, and vice versa.
+func (cf *CheckpointFile) ValidateReduce(requested checker.ReduceSet) error {
+	if requested != cf.ReduceSet() {
+		return fmt.Errorf("checkpoint was explored with reduction %q but resume requested %q: a frontier is only valid under the reduction set that produced it (re-explore from scratch to change reductions)",
+			cf.ReduceSet(), requested)
 	}
 	return nil
 }
@@ -171,6 +203,9 @@ func ReadCheckpointFile(path string) (*CheckpointFile, error) {
 		return nil, fmt.Errorf("%s: unknown benchmark %q", path, cf.Benchmark)
 	}
 	if _, err := model.Parse(cf.Model); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if _, err := checker.ParseReduce(cf.Reduce); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &cf, nil

@@ -165,6 +165,10 @@ func TestCheckpointFileValidation(t *testing.T) {
 			t.Errorf("%s: accepted", name)
 		}
 	}
+	if _, err := ReadCheckpointFile(write("badreduce.json",
+		`{"schema":"`+CheckpointFileSchema+`","benchmark":"RCU","reduce":"bogus","state":`+state+`}`)); err == nil {
+		t.Error("badreduce.json: accepted")
+	}
 	good := write("good.json", `{"schema":"`+CheckpointFileSchema+`","benchmark":"RCU","state":`+state+`}`)
 	cf, err := ReadCheckpointFile(good)
 	if err != nil {
@@ -172,6 +176,32 @@ func TestCheckpointFileValidation(t *testing.T) {
 	}
 	if cf.Benchmark != "RCU" || cf.State.Pending() != 1 {
 		t.Errorf("round trip mangled the envelope: %+v", cf)
+	}
+	// Reduction identity: an absent field means unreduced (pre-reduction
+	// envelopes), a recorded set must match the resume's exactly.
+	if cf.ReduceSet().Any() {
+		t.Errorf("absent reduce field resolved to %v, want the zero set", cf.ReduceSet())
+	}
+	if err := cf.ValidateReduce(checker.ReduceSet{}); err != nil {
+		t.Errorf("matching (empty) reduction refused: %v", err)
+	}
+	if err := cf.ValidateReduce(checker.ReduceAll()); err == nil {
+		t.Error("mismatched reduction accepted on an unreduced checkpoint")
+	}
+	red := write("reduced.json",
+		`{"schema":"`+CheckpointFileSchema+`","benchmark":"RCU","reduce":"rf,spinloop","state":`+state+`}`)
+	cf, err = ReadCheckpointFile(red)
+	if err != nil {
+		t.Fatalf("reduced envelope rejected: %v", err)
+	}
+	if got := cf.ReduceSet(); got != (checker.ReduceSet{RF: true, Spinloop: true}) {
+		t.Errorf("ReduceSet() = %+v, want rf+spinloop", got)
+	}
+	if err := cf.ValidateReduce(checker.ReduceSet{RF: true, Spinloop: true}); err != nil {
+		t.Errorf("matching reduction refused: %v", err)
+	}
+	if err := cf.ValidateReduce(checker.ReduceSet{RF: true}); err == nil {
+		t.Error("subset reduction accepted — a frontier is only valid under the exact set that produced it")
 	}
 }
 

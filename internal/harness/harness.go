@@ -38,6 +38,12 @@ type Options struct {
 	// harness runs (zero value = c11). The paper's numbers are C/C++11
 	// numbers; the other models exist for behavior diffing (modeldiff).
 	Model model.ID
+	// Reduce selects the execution-equivalence reductions
+	// (checker.Config.Reduce) for every exploration the harness runs.
+	// Zero value = no reduction. Reduction preserves the behavior set —
+	// spec fingerprints and failure kinds — while cutting the executions
+	// explored; the reducediff comparison pins that claim per benchmark.
+	Reduce checker.ReduceSet
 	// Progress, when set, receives periodic exploration snapshots labeled
 	// with the benchmark name (the cdsspec -progress flag feeds on it).
 	// Rows may explore concurrently, so the callback must be safe for
@@ -122,7 +128,7 @@ func (o Options) workerCount() int {
 // wiring the name-labeled progress callback when requested. The cdsspec
 // CLI uses it for one-off explorations that bypass the Run* helpers.
 func (o Options) ExplorerConfig(name string) checker.Config {
-	cfg := checker.Config{ProgressInterval: o.ProgressInterval, Parallelism: o.Parallelism, Model: o.Model}
+	cfg := checker.Config{ProgressInterval: o.ProgressInterval, Parallelism: o.Parallelism, Model: o.Model, Reduce: o.Reduce}
 	if o.Progress != nil {
 		cfg.Progress = func(p checker.Progress) { o.Progress(name, p) }
 	}

@@ -47,6 +47,20 @@ type KernelRow struct {
 	WsBusy      time.Duration `json:"ws_busy_ns,omitempty"`
 	WsSteals    int           `json:"ws_steals,omitempty"`
 	WsIdentical bool          `json:"ws_identical,omitempty"`
+
+	// Reduction columns (schema v3): the same exploration, sequential
+	// with optimizations on, under the full execution-equivalence
+	// reduction set (RedReduce records it). The (Executions,
+	// RedExecutions) pair is the before/after executions-explored
+	// column in EXPERIMENTS.md; RedClasses is the rf-equivalence class
+	// count the reduced run partitioned the space into. Without a spec
+	// monitor attached the reduction is pure kernel-state caching, so
+	// the failure count must be unchanged — RedIdentical pins that.
+	RedTime       time.Duration `json:"red_ns,omitempty"`
+	RedReduce     string        `json:"red_reduce,omitempty"`
+	RedExecutions int           `json:"red_executions,omitempty"`
+	RedClasses    int           `json:"red_classes,omitempty"`
+	RedIdentical  bool          `json:"red_identical,omitempty"`
 }
 
 // SpeedupX is the wall-clock ratio base/opt (>1 means the optimizations
@@ -65,6 +79,15 @@ func (r KernelRow) AllocReductionPct() float64 {
 		return 0
 	}
 	return 100 * (1 - float64(r.OptAllocs)/float64(r.BaseAllocs))
+}
+
+// ReductionX is the executions-explored ratio unreduced/reduced (>1
+// means the reduction shrank the space).
+func (r KernelRow) ReductionX() float64 {
+	if r.RedExecutions <= 0 {
+		return 0
+	}
+	return float64(r.Executions) / float64(r.RedExecutions)
 }
 
 // WsSpeedupX is the wall-clock ratio sequential-opt/parallel (>1 means
@@ -128,9 +151,11 @@ func RunKernelBench(opts Options) []KernelRow {
 		optCfg := Options{}.ExplorerConfig(b.Name)
 		baseCfg := Options{DisableKernelOpts: true}.ExplorerConfig(b.Name)
 		wsCfg := Options{Parallelism: wsWorkers}.ExplorerConfig(b.Name)
+		redCfg := Options{Reduce: checker.ReduceAll()}.ExplorerConfig(b.Name)
 		optRes, optTime, optAllocs := measureKernel(optCfg, prog)
 		baseRes, baseTime, baseAllocs := measureKernel(baseCfg, prog)
 		wsRes, wsTime, _ := measureKernel(wsCfg, prog)
+		redRes, redTime, _ := measureKernel(redCfg, prog)
 		rows = append(rows, KernelRow{
 			Name:       b.Name,
 			Executions: optRes.Executions,
@@ -152,17 +177,27 @@ func RunKernelBench(opts Options) []KernelRow {
 				wsRes.Pruned == optRes.Pruned &&
 				wsRes.FailureCount == optRes.FailureCount &&
 				wsRes.Stats.WithoutTimings() == optRes.Stats.WithoutTimings(),
+			RedTime:       redTime,
+			RedReduce:     checker.ReduceAll().String(),
+			RedExecutions: redRes.Executions,
+			RedClasses:    redRes.Stats.RFClasses,
+			RedIdentical:  redRes.FailureCount == optRes.FailureCount,
 		})
 	}
 	return rows
 }
 
-// KernelSnapshotSchema identifies the BENCH_kernel.json layout. v2 added
-// the work-stealing columns (ws_ns, ws_workers, ws_busy_ns, ws_steals,
-// ws_identical); the change is additive, so v1 blobs stay readable
-// through ReadKernelSnapshot (the ws columns decode as zero and render
-// as "n/a").
-const KernelSnapshotSchema = "cdsspec-kernelbench/v2"
+// KernelSnapshotSchema identifies the BENCH_kernel.json layout. v3 added
+// the execution-equivalence reduction columns (red_ns, red_reduce,
+// red_executions, red_classes, red_identical); v2 added the
+// work-stealing columns. Both changes are additive, so older blobs stay
+// readable through ReadKernelSnapshot (absent columns decode as zero and
+// render as "n/a").
+const KernelSnapshotSchema = "cdsspec-kernelbench/v3"
+
+// KernelSnapshotSchemaV2 is the pre-reduction layout, still accepted by
+// ReadKernelSnapshot so CI can diff against archived artifacts.
+const KernelSnapshotSchemaV2 = "cdsspec-kernelbench/v2"
 
 // KernelSnapshotSchemaV1 is the pre-work-stealing layout, still accepted
 // by ReadKernelSnapshot so CI can diff against archived artifacts.
@@ -188,37 +223,44 @@ func ReadKernelSnapshot(data []byte) (*KernelSnapshot, error) {
 		return nil, fmt.Errorf("decoding kernel snapshot: %w", err)
 	}
 	switch s.Schema {
-	case KernelSnapshotSchema, KernelSnapshotSchemaV1:
+	case KernelSnapshotSchema, KernelSnapshotSchemaV2, KernelSnapshotSchemaV1:
 		return &s, nil
 	default:
-		return nil, fmt.Errorf("unsupported kernel snapshot schema %q (want %q or %q)",
-			s.Schema, KernelSnapshotSchema, KernelSnapshotSchemaV1)
+		return nil, fmt.Errorf("unsupported kernel snapshot schema %q (want %q, %q, or %q)",
+			s.Schema, KernelSnapshotSchema, KernelSnapshotSchemaV2, KernelSnapshotSchemaV1)
 	}
 }
 
 // FormatKernelBench renders the rows as the EXPERIMENTS.md-style table,
-// including the work-stealing columns: ws-time is the parallel wall
+// including the work-stealing columns — ws-time is the parallel wall
 // clock, ws-speedup the sequential/parallel ratio, busy the
 // steal-efficiency (worker busy-fraction), steals the cross-deque task
-// transfers. Rows from a v1 snapshot (no ws leg) render those columns as
-// "n/a".
+// transfers — and the reduction columns: red-execs is the executions
+// explored with the full reduction set on, red-x the unreduced/reduced
+// ratio, classes the rf-equivalence class count. Rows from older
+// snapshots render missing legs as "n/a".
 func FormatKernelBench(rows []KernelRow) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-22s %10s %12s %12s %8s %12s %12s %8s %9s %12s %10s %6s %7s %s\n",
+	fmt.Fprintf(&sb, "%-22s %10s %12s %12s %8s %12s %12s %8s %9s %12s %10s %6s %7s %-12s %10s %8s %8s\n",
 		"benchmark", "execs", "base-time", "opt-time", "speedup", "base-allocs", "opt-allocs", "alloc-%", "identical",
-		"ws-time", "ws-speedup", "busy", "steals", "ws-identical")
+		"ws-time", "ws-speedup", "busy", "steals", "ws-identical", "red-execs", "red-x", "classes")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-22s %10d %12s %12s %7.2fx %12d %12d %7.1f%% %9v ",
 			r.Name, r.Executions,
 			r.BaseTime.Round(10*time.Microsecond), r.OptTime.Round(10*time.Microsecond),
 			r.SpeedupX(), r.BaseAllocs, r.OptAllocs, r.AllocReductionPct(), r.Identical)
 		if r.WsWorkers > 0 {
-			fmt.Fprintf(&sb, "%12s %10s %5.1f%% %6d %v\n",
+			fmt.Fprintf(&sb, "%12s %10s %5.1f%% %6d %-12v ",
 				r.WsTime.Round(10*time.Microsecond),
 				fmt.Sprintf("%.2fx/%dw", r.WsSpeedupX(), r.WsWorkers),
 				r.WsBusyPct(), r.WsSteals, r.WsIdentical)
 		} else {
-			fmt.Fprintf(&sb, "%12s %10s %6s %6s %s\n", "n/a", "n/a", "n/a", "n/a", "n/a")
+			fmt.Fprintf(&sb, "%12s %10s %6s %6s %-12s ", "n/a", "n/a", "n/a", "n/a", "n/a")
+		}
+		if r.RedExecutions > 0 {
+			fmt.Fprintf(&sb, "%10d %7.2fx %8d\n", r.RedExecutions, r.ReductionX(), r.RedClasses)
+		} else {
+			fmt.Fprintf(&sb, "%10s %8s %8s\n", "n/a", "n/a", "n/a")
 		}
 	}
 	return sb.String()

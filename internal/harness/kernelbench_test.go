@@ -6,9 +6,9 @@ import (
 	"time"
 )
 
-// TestReadKernelSnapshotBackCompat: v2 round-trips, v1 blobs (no ws
-// columns) still load with the ws fields zero, unknown schemas are
-// rejected.
+// TestReadKernelSnapshotBackCompat: v3 round-trips, v2/v1 blobs (no
+// reduction / no ws columns) still load with the absent fields zero,
+// unknown schemas are rejected.
 func TestReadKernelSnapshotBackCompat(t *testing.T) {
 	rows := []KernelRow{{
 		Name: "M&S Queue", Executions: 1957, Feasible: 1407,
@@ -16,6 +16,8 @@ func TestReadKernelSnapshotBackCompat(t *testing.T) {
 		Identical: true,
 		WsTime:    12 * time.Millisecond, WsWorkers: 8,
 		WsBusy: 90 * time.Millisecond, WsSteals: 80, WsIdentical: true,
+		RedTime: 8 * time.Millisecond, RedReduce: "rf,symmetry,spinloop",
+		RedExecutions: 495, RedClasses: 83, RedIdentical: true,
 	}}
 	blob, err := KernelSnapshotJSON(rows)
 	if err != nil {
@@ -25,8 +27,20 @@ func TestReadKernelSnapshotBackCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Schema != KernelSnapshotSchema || len(s.Rows) != 1 || s.Rows[0].WsSteals != 80 {
-		t.Errorf("v2 round trip mangled the snapshot: %+v", s)
+	if s.Schema != KernelSnapshotSchema || len(s.Rows) != 1 || s.Rows[0].WsSteals != 80 || s.Rows[0].RedExecutions != 495 {
+		t.Errorf("v3 round trip mangled the snapshot: %+v", s)
+	}
+	if x := s.Rows[0].ReductionX(); x < 3.9 || x > 4.0 {
+		t.Errorf("ReductionX() = %v, want 1957/495", x)
+	}
+
+	v2 := `{"schema":"` + KernelSnapshotSchemaV2 + `","kernel":[{"name":"RCU","executions":79,"ws_workers":8,"identical":true}]}`
+	s, err = ReadKernelSnapshot([]byte(v2))
+	if err != nil {
+		t.Fatalf("v2 snapshot rejected: %v", err)
+	}
+	if s.Rows[0].RedExecutions != 0 || s.Rows[0].ReductionX() != 0 {
+		t.Errorf("v2 row grew reduction columns: %+v", s.Rows[0])
 	}
 
 	v1 := `{"schema":"` + KernelSnapshotSchemaV1 + `","kernel":[{"name":"RCU","executions":79,"identical":true}]}`
@@ -37,7 +51,7 @@ func TestReadKernelSnapshotBackCompat(t *testing.T) {
 	if s.Rows[0].WsWorkers != 0 {
 		t.Errorf("v1 row grew ws columns: %+v", s.Rows[0])
 	}
-	// A v1 row (no ws leg) renders the ws columns as n/a.
+	// A v1 row (no ws or reduction leg) renders those columns as n/a.
 	if out := FormatKernelBench(s.Rows); !strings.Contains(out, "n/a") {
 		t.Errorf("v1 row should render ws columns as n/a:\n%s", out)
 	}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+)
+
+// This file implements `cdsspec reducediff`: run the same target twice —
+// once with the execution-equivalence reductions off and once with the
+// requested set on — and compare the observable behavior sets, which the
+// reduction must preserve exactly. It shares the target registry and the
+// behavior keys with modeldiff (litmus outcomes; spec fingerprints for
+// Figure 7 benchmarks), so a reduction soundness bug shows up the same
+// way a model divergence would: as keys present on only one side.
+//
+// The claim being pinned is directional: the reduced leg must observe the
+// *identical* behavior and failure-signature sets while exploring fewer
+// (never more) executions. Anything only in the reduced leg is a hard
+// soundness bug; anything only in the unreduced leg means the reduction
+// pruned a behavior it was required to witness. CI runs this comparison
+// as the reduction-smoke gate on msqueue and the MPMC queue.
+
+// ReduceDiffLeg summarizes one side of a reduction diff.
+type ReduceDiffLeg struct {
+	Reduce     string        `json:"reduce"`
+	Executions int           `json:"executions"`
+	Feasible   int           `json:"feasible"`
+	Pruned     int           `json:"pruned"`
+	Exhausted  bool          `json:"exhausted"`
+	Behaviors  int           `json:"behaviors"`
+	Failures   int           `json:"failures"` // distinct failure signatures
+	Stats      checker.Stats `json:"stats"`
+}
+
+// ReduceDiffReport is the outcome of RunReduceDiff.
+type ReduceDiffReport struct {
+	Target    string        `json:"target"`
+	Kind      string        `json:"kind"` // "litmus" or "benchmark"
+	Unreduced ReduceDiffLeg `json:"unreduced"`
+	Reduced   ReduceDiffLeg `json:"reduced"`
+	// OnlyUnreduced / OnlyReduced are example behavior keys present on
+	// exactly one side, sorted, capped at MaxDiffExamples; the *Count
+	// fields are uncapped. Both must be zero for a sound reduction.
+	OnlyUnreduced      []string `json:"only_unreduced,omitempty"`
+	OnlyReduced        []string `json:"only_reduced,omitempty"`
+	OnlyUnreducedCount int      `json:"only_unreduced_count"`
+	OnlyReducedCount   int      `json:"only_reduced_count"`
+	Common             int      `json:"common"`
+	// FailOnlyUnreduced / FailOnlyReduced diff the deduplicated failure
+	// signatures; complete, not capped.
+	FailOnlyUnreduced []string `json:"fail_only_unreduced,omitempty"`
+	FailOnlyReduced   []string `json:"fail_only_reduced,omitempty"`
+	FailCommon        int      `json:"fail_common"`
+	// Ratio is unreduced/reduced executions — the reduction factor the
+	// acceptance gate reads (0 when the reduced leg explored nothing).
+	Ratio float64 `json:"ratio"`
+	// Sound reports that the behavior and failure sets match exactly.
+	Sound bool `json:"sound"`
+}
+
+// RunReduceDiff explores target with reductions off and with the given
+// set on (under Options.Model) and diffs the observable behavior and
+// failure sets. Targets are the modeldiff registry: litmus names shadow
+// benchmark names.
+func RunReduceDiff(target string, r checker.ReduceSet, opts Options) (*ReduceDiffReport, error) {
+	if !r.Any() {
+		return nil, fmt.Errorf("reducediff: empty reduction set — nothing to compare against the unreduced run")
+	}
+	unredOpts, redOpts := opts, opts
+	unredOpts.Reduce = checker.ReduceSet{}
+	redOpts.Reduce = r
+	id := opts.Model.OrDefault()
+	var runU, runR *legRun
+	kind := ""
+	if lt := LitmusByName(target); lt != nil {
+		kind = "litmus"
+		runU = runLitmusLeg(lt, id, unredOpts)
+		runR = runLitmusLeg(lt, id, redOpts)
+	} else if bench := BenchmarkByName(target); bench != nil {
+		kind = "benchmark"
+		runU = runBenchmarkLeg(bench, id, unredOpts)
+		runR = runBenchmarkLeg(bench, id, redOpts)
+	} else {
+		return nil, fmt.Errorf("reducediff: unknown target %q (valid: %s)", target, strings.Join(ModelDiffTargets(), ", "))
+	}
+	onlyU, onlyR, common := setDiff(runU.behaviors, runR.behaviors)
+	failU, failR, failCommon := setDiff(runU.failures, runR.failures)
+	rep := &ReduceDiffReport{
+		Target:             target,
+		Kind:               kind,
+		Unreduced:          reduceLeg(runU, checker.ReduceSet{}),
+		Reduced:            reduceLeg(runR, r),
+		OnlyUnreduced:      capExamples(onlyU),
+		OnlyReduced:        capExamples(onlyR),
+		OnlyUnreducedCount: len(onlyU),
+		OnlyReducedCount:   len(onlyR),
+		Common:             common,
+		FailOnlyUnreduced:  failU,
+		FailOnlyReduced:    failR,
+		FailCommon:         failCommon,
+		Sound:              len(onlyU) == 0 && len(onlyR) == 0 && len(failU) == 0 && len(failR) == 0,
+	}
+	if runR.res.Executions > 0 {
+		rep.Ratio = float64(runU.res.Executions) / float64(runR.res.Executions)
+	}
+	return rep, nil
+}
+
+func reduceLeg(lr *legRun, r checker.ReduceSet) ReduceDiffLeg {
+	return ReduceDiffLeg{
+		Reduce:     r.String(),
+		Executions: lr.res.Executions,
+		Feasible:   lr.res.Feasible,
+		Pruned:     lr.res.Pruned,
+		Exhausted:  lr.res.Exhausted,
+		Behaviors:  len(lr.behaviors),
+		Failures:   len(lr.failures),
+		Stats:      lr.res.Stats,
+	}
+}
+
+// Render formats the report for the terminal.
+func (r *ReduceDiffReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "reducediff %s (%s): reduce=%s vs unreduced\n", r.Target, r.Kind, r.Reduced.Reduce)
+	legLine := func(label string, l ReduceDiffLeg) {
+		state := "exhausted"
+		if !l.Exhausted {
+			state = "not exhausted"
+		}
+		fmt.Fprintf(&sb, "  %-10s %d executions, %d feasible, %d behaviors, %d failure kinds (%s)\n",
+			label+":", l.Executions, l.Feasible, l.Behaviors, l.Failures, state)
+	}
+	legLine("unreduced", r.Unreduced)
+	legLine("reduced", r.Reduced)
+	s := r.Reduced.Stats
+	fmt.Fprintf(&sb, "  reduction: %.2fx fewer executions (%d rf-equiv prunes, %d symmetry prunes, %d spinloop bounds, %d rf classes)\n",
+		r.Ratio, s.RFEquivPrunes, s.SymmetryPrunes, s.SpinloopBounds, s.RFClasses)
+	if r.Sound {
+		fmt.Fprintf(&sb, "  behaviors: identical (%d common, %d failure signatures common) — reduction is sound on this target\n",
+			r.Common, r.FailCommon)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  behaviors: %d common, %d only unreduced, %d only reduced — SOUNDNESS VIOLATION\n",
+		r.Common, r.OnlyUnreducedCount, r.OnlyReducedCount)
+	for _, k := range r.OnlyUnreduced {
+		fmt.Fprintf(&sb, "    lost by reduction: %s\n", k)
+	}
+	for _, k := range r.OnlyReduced {
+		fmt.Fprintf(&sb, "    invented by reduction: %s\n", k)
+	}
+	for _, k := range r.FailOnlyUnreduced {
+		fmt.Fprintf(&sb, "    failure lost by reduction: %s\n", k)
+	}
+	for _, k := range r.FailOnlyReduced {
+		fmt.Fprintf(&sb, "    failure invented by reduction: %s\n", k)
+	}
+	return sb.String()
+}
